@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate each paper table/figure at reduced-but-meaningful
+run counts (EXPERIMENTS.md records full-scale numbers). Heavy experiments
+run once per benchmark (``pedantic`` with a single round) so the suite
+stays in laptop budgets.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy experiment with exactly one timed execution."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,110 @@
+"""Benchmarks E-A1..E-A4: the corollary and attack ablations DESIGN.md
+calls out — Corollary 1's strategy equivalence, Corollary 3's sensitivity,
+footnote 6's incrimination attack, and the burst-loss robustness probe."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_burst_loss,
+    run_corollary1,
+    run_corollary3,
+    run_incrimination,
+)
+
+
+def test_bench_ablation_corollary1(benchmark, once):
+    result = once(benchmark, run_corollary1, packets=4000, seed=0)
+    assert result.uniform_psi == pytest.approx(result.selective_psi, abs=0.02)
+
+
+def test_bench_ablation_corollary3(benchmark):
+    result = benchmark(run_corollary3)
+    d_rows = [row for row in result.rows if row[0].startswith("d")]
+    # PAAI-2's 2^d factor dominates; full-ack is insensitive to d.
+    assert d_rows[-1][4] / d_rows[0][4] > 20
+    assert d_rows[-1][2] / d_rows[0][2] < 2
+
+
+def test_bench_ablation_incrimination(benchmark, once):
+    result = once(benchmark, run_incrimination, packets=12_000, rate=5000.0, seed=0)
+    assert result.leaky_convicts_honest
+    assert not result.oblivious_convicts_honest
+
+
+def test_bench_ablation_burst_loss(benchmark, once):
+    result = once(benchmark, run_burst_loss, packets=4000, seed=0)
+    mean_iid = sum(result.bernoulli_estimates) / len(result.bernoulli_estimates)
+    mean_burst = sum(result.burst_estimates) / len(result.burst_estimates)
+    # Same average loss level within a loose band; burstiness changes the
+    # variance, not the mean.
+    assert mean_iid == pytest.approx(mean_burst, rel=0.6)
+
+
+def test_bench_ablation_corollary2(benchmark, once):
+    from repro.experiments.ablations import run_corollary2
+
+    result = once(benchmark, run_corollary2, z=3, packets=6000, seed=0)
+    # Spread damage accumulates with z and matches the concentrated
+    # deployment within noise at stealth rates.
+    assert result.spread_damage_by_z == sorted(result.spread_damage_by_z)
+    assert result.spread_damage == pytest.approx(
+        result.concentrated_damage, rel=0.5
+    )
+
+
+def test_bench_sigack_overhead(benchmark, once):
+    """The footnote-1 quantification: asymmetric acks cost orders of
+    magnitude more wire bytes than symmetric MACs."""
+    from repro.metrics.comm import summarize_communication
+    from repro.net.simulator import Simulator
+    from repro.workloads.scenarios import paper_scenario
+
+    scenario = paper_scenario()
+
+    def run():
+        simulator = Simulator(seed=0)
+        protocol = scenario.build_protocol("sig-ack", simulator)
+        protocol.run_traffic(count=300, rate=1000.0)
+        return summarize_communication(protocol)
+
+    summary = once(benchmark, run)
+    assert summary.overhead_ratio > 1.0
+
+
+def test_bench_ablation_window(benchmark, once):
+    """E-A6: the windowed-scoring extension vs an intermittent adversary."""
+    from repro.experiments.ablations import run_window_ablation
+
+    result = once(benchmark, run_window_ablation, windows=(200, 4000), seed=0)
+    rows = {row[0]: row for row in result.rows}
+    assert rows[200][2] == "CONVICTED"
+    assert all(row[4] == "-" for row in result.rows)
+
+
+def test_bench_measured_corollary3(benchmark, once):
+    """E-S1: the measured version of Corollary 3's sensitivity claims."""
+    from repro.experiments.sweeps import run_corollary3_measured
+
+    results = once(benchmark, run_corollary3_measured, runs=400, seed=0)
+    by_key = {r.parameter + "/" + r.protocol: r for r in results}
+    d_paai2 = by_key["path length d/paai2"].points
+    assert d_paai2[-1].measured_convergence > 2 * d_paai2[0].measured_convergence
+
+
+def test_bench_comm_table(benchmark, once):
+    """E-C1: the measured communication-overhead table."""
+    from repro.experiments.comm_table import run_comm_table
+
+    result = once(benchmark, run_comm_table, packets=1200, seed=0)
+    rows = {row.protocol: row for row in result.rows}
+    assert rows["paai1"].measured_ratio < rows["full-ack"].measured_ratio
+
+
+def test_bench_ablation_theorem1(benchmark, once):
+    """E-A7: Theorem 1's per-link budget is a sharp detection boundary."""
+    from repro.experiments.ablations import run_theorem1_sharpness
+
+    result = once(benchmark, run_theorem1_sharpness, runs=1000, seed=0)
+    rows = {row[0]: row for row in result.rows}
+    assert rows[0.5][2] <= 0.05
+    assert rows[2.0][2] >= 0.95

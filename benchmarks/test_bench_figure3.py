@@ -1,0 +1,56 @@
+"""Benchmarks E-F3a/b/c: regenerate Figure 3's storage-overhead panels on
+the wire simulator and check the paper's observations:
+
+* storage scales ~linearly with the sending rate (a vs b);
+* PAAI-1 has the lowest storage in the w/o-AAI case;
+* full-ack's storage drops after the adversary is bypassed (w/ AAI);
+* nodes closer to the destination store less and are less affected by
+  adversarial drops (panel c).
+"""
+
+from repro.experiments.figure3 import run_figure3_panel
+
+
+def test_bench_figure3a_fast_rate(benchmark, once):
+    result = once(benchmark, run_figure3_panel, "a", packets=2000, seed=1)
+    series = {s.label: s for s in result.series}
+    paai1 = next(s for label, s in series.items() if "paai1" in label)
+    paai2 = next(s for label, s in series.items() if "paai2" in label)
+    fullack_with = next(
+        s for label, s in series.items() if "full-ack" in label and "w/ AAI" in label
+    )
+    fullack_without = next(
+        s for label, s in series.items() if "full-ack" in label and "w/o AAI" in label
+    )
+    # PAAI-1 lowest storage among the w/o AAI protocols.
+    assert paai1.mean < paai2.mean
+    assert paai1.mean < fullack_without.mean
+    # Bypassing the adversary can only reduce full-ack's storage.
+    assert fullack_with.mean <= fullack_without.mean + 0.5
+
+
+def test_bench_figure3b_slow_rate(benchmark, once):
+    result_slow = once(benchmark, run_figure3_panel, "b", packets=2000, seed=1)
+    result_fast = run_figure3_panel("a", packets=2000, seed=1)
+
+    def mean_of(result, token):
+        return next(s for s in result.series if token in s.label).mean
+
+    # Storage scales roughly linearly with the sending rate (10x).
+    for token in ("paai1", "paai2"):
+        ratio = mean_of(result_fast, token) / max(mean_of(result_slow, token), 1e-9)
+        assert 4.0 < ratio < 25.0, (token, ratio)
+    # Table 2's storage numbers live in this panel: PAAI-1 ~3.0 packets.
+    assert 2.0 < mean_of(result_slow, "paai1") < 3.4
+
+
+def test_bench_figure3c_position_effect(benchmark, once):
+    result = once(benchmark, run_figure3_panel, "c", packets=2000, seed=2)
+    means = {}
+    for series in result.series:
+        for position in (1, 3, 5):
+            if f"F{position}" in series.label:
+                means[position] = series.mean
+    # Nodes closer to the destination have lower storage overhead.
+    assert means[5] < means[3] < means[1] + 0.75, means
+    assert means[5] < means[1], means

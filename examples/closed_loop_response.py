@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Closed-loop data-plane defense: detect, convict with confidence, reroute.
+
+The paper's Figure 3 experiments bypass the adversary by fiat at the known
+convergence time. A real deployment doesn't know that time — it must act
+on the protocol's own verdicts, and acting on a noisy point estimate means
+rerouting around innocent links. This example runs the full loop:
+
+1. PAAI-1 monitors the paper's scenario (F4 compromised);
+2. an :class:`AAIController` periodically evaluates the *confidence-aware*
+   verdict (Hoeffding intervals at the deployment's sigma);
+3. on the first confident conviction the controller "reroutes": the
+   adversary is neutralized;
+4. the end-to-end loss rate recovers, measured before vs after.
+
+Run::
+
+    python examples/closed_loop_response.py
+"""
+
+from repro.core.controller import AAIController, bypass_adversaries
+from repro.core.params import ProtocolParams
+from repro.experiments.report import render_table
+from repro.net.simulator import Simulator
+from repro.protocols.registry import make_protocol
+from repro.workloads.scenarios import paper_scenario
+
+RATE = 2000.0
+PACKETS = 40_000
+
+
+def main() -> None:
+    scenario = paper_scenario(
+        params=ProtocolParams(probe_frequency=0.5),
+        node_drop_rate=0.05,  # an aggressive adversary worth reacting to
+    )
+    simulator = Simulator(seed=7)
+    adversaries = scenario.build_adversaries(simulator)
+    protocol = make_protocol(
+        "paai1", simulator, scenario.params, adversaries=adversaries
+    )
+
+    psi_snapshots = {}
+    bypass = bypass_adversaries(adversaries)
+
+    def respond(event):
+        # Capture the loss rate the source observed *while under attack*,
+        # then reroute.
+        psi_snapshots["at_conviction"] = protocol.source.monitor.psi
+        bypass(event)
+
+    controller = AAIController(
+        protocol, respond, check_interval=0.25, confident=True
+    )
+    controller.start()
+
+    # Phase 1: run until the controller acts (bounded by PACKETS).
+    protocol.run_traffic(count=PACKETS, rate=RATE)
+    controller.stop()
+
+    event = controller.first_conviction
+    if event is None:
+        print("No confident conviction within the horizon — "
+              "increase PACKETS.")
+        return
+
+    psi_at_conviction = psi_snapshots["at_conviction"]
+
+    # Phase 2: traffic after the bypass — loss should drop to natural.
+    before_sent = protocol.source.monitor.sent
+    before_acked = protocol.source.monitor.acknowledged
+    protocol.run_traffic(count=10_000, rate=RATE)
+    after_sent = protocol.source.monitor.sent - before_sent
+    after_acked = protocol.source.monitor.acknowledged - before_acked
+    psi_after = 1.0 - after_acked / after_sent
+
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["confident conviction", f"links {sorted(event.convicted)}"],
+            ["at packet #", event.packets_sent],
+            ["at sim time (s)", round(event.time, 2)],
+            ["probed rounds used", event.rounds],
+            ["loss rate while under attack", f"{psi_at_conviction:.3f}"],
+            ["loss rate after reroute", f"{psi_after:.3f}"],
+        ],
+        title="Closed-loop response (PAAI-1 + confidence-aware controller)",
+    ))
+    # A PAAI-1 monitored round crosses every link three times (data
+    # forward, probe forward, onion report back): its natural loss floor
+    # is 1 - (1-rho)^(3d).
+    natural = 1 - (1 - scenario.params.natural_loss) ** (
+        3 * scenario.params.path_length
+    )
+    print(f"\nPAAI-1's natural probed-round loss floor: {natural:.3f} — "
+          "the post-reroute rate sits on it: the path is healthy again.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Scenario: auditing a long transit path with colluding adversaries.
+
+An operator suspects that traffic crossing a 10-hop transit path is being
+throttled by compromised routers. This example shows:
+
+1. Theorem 1's damage accounting — how much throughput z colluding links
+   can shave off while staying under the per-link threshold;
+2. a PAAI-1 audit of the path with *two* colluding malicious nodes, each
+   dropping just a fraction of traffic, and the per-link evidence the
+   source accumulates;
+3. Corollary 3 in action: the longer path barely changes PAAI-1's
+   detection rate (while PAAI-2's blows up).
+
+Run::
+
+    python examples/isp_path_audit.py
+"""
+
+from repro.analysis.bounds import malicious_drop_bound
+from repro.analysis.detection import detection_packets
+from repro.core.params import ProtocolParams
+from repro.experiments.report import render_table
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import Scenario
+
+PATH_LENGTH = 10
+MALICIOUS = {3: 0.025, 7: 0.025}  # two compromised routers
+
+
+def damage_budget(params: ProtocolParams) -> None:
+    rows = []
+    for z in (1, 2, 3):
+        rows.append(
+            [
+                z,
+                f"{100 * malicious_drop_bound('paai1', params, z):.1f}%",
+                f"{100 * malicious_drop_bound('paai2', params, z):.1f}%",
+            ]
+        )
+    print(render_table(
+        ["malicious links z", "undetected damage (PAAI-1)",
+         "undetected damage (PAAI-2)"],
+        rows,
+        title="Theorem 1: maximum undetectable end-to-end drop rate",
+    ))
+
+
+def audit(params: ProtocolParams) -> None:
+    scenario = Scenario(params=params, malicious_nodes=dict(MALICIOUS))
+    simulator = Simulator(seed=11)
+    protocol = scenario.build_protocol("paai1", simulator)
+    protocol.run_traffic(count=30_000, rate=2000.0)
+    result = protocol.identify()
+    rows = [
+        [
+            f"l{link}",
+            round(estimate, 4),
+            round(threshold, 4),
+            "CONVICTED" if link in result.convicted else "",
+        ]
+        for link, (estimate, threshold) in enumerate(
+            zip(result.estimates, result.thresholds)
+        )
+    ]
+    print()
+    print(render_table(
+        ["link", "estimate", "threshold", "verdict"],
+        rows,
+        title=(
+            f"PAAI-1 audit of the {PATH_LENGTH}-hop path "
+            f"({protocol.board.rounds} probed rounds; "
+            f"true malicious: l3, l7)"
+        ),
+    ))
+    expected = set(MALICIOUS)
+    print(f"\nConvicted: {sorted(result.convicted)}  (ground truth {sorted(expected)})")
+
+
+def sensitivity() -> None:
+    rows = []
+    for d in (6, 10, 14):
+        params = ProtocolParams(path_length=d, probe_frequency=1.0 / d ** 2)
+        rows.append(
+            [
+                d,
+                int(detection_packets("paai1", params)),
+                int(detection_packets("paai2", params)),
+            ]
+        )
+    print()
+    print(render_table(
+        ["path length d", "PAAI-1 detection (pkts)", "PAAI-2 detection (pkts)"],
+        rows,
+        title="Corollary 3: path-length sensitivity (p = 1/d^2)",
+    ))
+
+
+def main() -> None:
+    params = ProtocolParams(
+        path_length=PATH_LENGTH,
+        probe_frequency=0.25,  # aggressive probing for a fast audit
+    )
+    damage_budget(params)
+    audit(params)
+    sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Scenario: choosing an AAI protocol for a resource-constrained sensor
+network.
+
+The paper motivates its overhead metrics with sensor networks: nodes have
+kilobytes of RAM and radio time is precious. This example sizes each
+protocol's storage and communication cost for a low-rate sensor deployment
+and cross-checks the analytic bounds against wire-simulation measurements,
+reproducing §9's practicality argument: PAAI-1 (and, if detection time is
+less critical, Combination 1) is the deployable choice.
+
+Run::
+
+    python examples/sensor_network.py
+"""
+
+from repro.analysis.detection import detection_time_minutes
+from repro.analysis.overhead import communication_overhead, storage_bound_packets
+from repro.core.params import ProtocolParams
+from repro.experiments.report import render_table
+from repro.metrics.comm import summarize_communication
+from repro.metrics.storage import StorageRecorder
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import paper_scenario
+
+#: Sensor radios: small frames, low rate.
+PACKET_SIZE = 128       # bytes
+SENDING_RATE = 20.0     # packets/second
+PROTOCOLS = ["full-ack", "paai1", "paai2", "combo1", "combo2", "statfl"]
+
+
+def analytic_comparison(params: ProtocolParams) -> None:
+    psi = 1.0 - (1.0 - params.natural_loss) ** params.path_length
+    rows = []
+    for name in PROTOCOLS:
+        storage_pkts = storage_bound_packets(name, params, SENDING_RATE, "worst")
+        rows.append(
+            [
+                name,
+                round(detection_time_minutes(name, params, SENDING_RATE), 1),
+                round(communication_overhead(name, params, psi=psi), 3),
+                round(storage_pkts, 2),
+                round(storage_pkts * PACKET_SIZE / 1024.0, 2),
+            ]
+        )
+    print(render_table(
+        ["protocol", "detection (min)", "comm (units/pkt)",
+         "storage (pkts)", "storage (KiB)"],
+        rows,
+        title=(
+            f"Analytic sizing: {PACKET_SIZE}-byte frames at "
+            f"{SENDING_RATE:g} pkt/s (worst case)"
+        ),
+    ))
+
+
+def measured_comparison(params: ProtocolParams) -> None:
+    scenario = paper_scenario(params=params)
+    rows = []
+    for name in ("full-ack", "paai1", "paai2"):
+        simulator = Simulator(seed=7)
+        protocol = scenario.build_protocol(name, simulator)
+        recorder = StorageRecorder().attach(protocol.path.nodes[1])
+        protocol.run_traffic(count=1500, rate=SENDING_RATE)
+        comm = summarize_communication(protocol)
+        rows.append(
+            [
+                name,
+                recorder.peak,
+                round(recorder.mean_occupancy(0.0, 1500 / SENDING_RATE), 2),
+                f"{100 * comm.overhead_ratio:.2f}%",
+            ]
+        )
+    print()
+    print(render_table(
+        ["protocol", "F1 peak (pkts)", "F1 mean (pkts)", "wire overhead"],
+        rows,
+        title="Measured on the wire simulator (1500 packets, F4 malicious)",
+    ))
+
+
+def main() -> None:
+    params = ProtocolParams(data_packet_size=PACKET_SIZE)
+    analytic_comparison(params)
+    measured_comparison(params)
+    print(
+        "\nReading: full-ack's per-packet acks dominate the radio budget;\n"
+        "statistical FL is nearly free but needs days of traffic to locate\n"
+        "an adversary at sensor rates. PAAI-1 keeps storage at a few\n"
+        "frames and overhead under a few percent while converging in\n"
+        "minutes - the trade-off the paper recommends."
+    )
+
+
+if __name__ == "__main__":
+    main()

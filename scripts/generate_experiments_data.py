@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run every experiment at full scale and dump the numbers used in
+EXPERIMENTS.md. Takes a few minutes; results land in
+``scripts/experiments_data.txt``."""
+
+import sys
+import time
+
+from repro.experiments.ablations import (
+    run_burst_loss,
+    run_corollary1,
+    run_corollary3,
+    run_incrimination,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3_panel
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.mc.detection import DetectionExperiment
+from repro.workloads.scenarios import paper_scenario
+
+OUT = "scripts/experiments_data.txt"
+
+
+def main() -> None:
+    sections = []
+
+    def record(name, text, started):
+        elapsed = time.time() - started
+        sections.append(f"##### {name} ({elapsed:.1f}s)\n{text}\n")
+        print(f"[done] {name} in {elapsed:.1f}s", flush=True)
+
+    t = time.time()
+    record("table1", run_table1().render(), t)
+
+    t = time.time()
+    record("table2 (runs=5000)", run_table2(runs=5000, storage_packets=2000, seed=0).render(), t)
+
+    for protocol, runs in (
+        ("full-ack", 10_000),
+        ("paai1", 10_000),
+        ("paai2", 5_000),
+        ("combo1", 5_000),
+        ("combo2", 2_000),
+    ):
+        t = time.time()
+        result = run_figure2(protocol, runs=runs, seed=0)
+        record(f"figure2 {protocol} (runs={runs})", result.render(), t)
+
+    # Statistical FL needs a ~5e7 horizon to show convergence.
+    t = time.time()
+    scenario = paper_scenario()
+    statfl = DetectionExperiment(
+        "statfl", scenario, runs=2_000, horizon=50_000_000, seed=0
+    ).run()
+    lines = [f"{cp} fp={fp:.4f} fn={fn:.4f}" for cp, fp, fn in statfl.curve.as_rows()]
+    lines.append(f"converged@sigma: {statfl.convergence_packets(scenario.params.sigma)}")
+    record("figure2 statfl (runs=2000, horizon=5e7)", "\n".join(lines), t)
+
+    for panel in ("a", "b", "c"):
+        t = time.time()
+        result = run_figure3_panel(panel, packets=2000, seed=0)
+        summary = "\n".join(
+            f"{s.label}: peak={s.peak} mean={s.mean:.2f}" for s in result.series
+        )
+        record(f"figure3 panel {panel}", summary, t)
+
+    t = time.time()
+    from repro.experiments.comm_table import run_comm_table
+    record("comm-table (measured overhead)", run_comm_table(packets=1500, seed=0).render(), t)
+
+    t = time.time()
+    from repro.experiments.sweeps import run_corollary3_measured
+    sweep_text = "\n\n".join(r.render() for r in run_corollary3_measured(runs=800, seed=0))
+    record("measured corollary 3 sweeps", sweep_text, t)
+
+    t = time.time()
+    from repro.experiments.ablations import run_theorem1_sharpness
+    record("theorem 1 sharpness", run_theorem1_sharpness(runs=2000, seed=0).render(), t)
+
+    t = time.time()
+    from repro.experiments.ablations import run_window_ablation
+    record("window ablation", run_window_ablation(seed=0).render(), t)
+
+    t = time.time()
+    record("ablation corollary1", run_corollary1(packets=20_000, seed=0).render(), t)
+    t = time.time()
+    record("ablation corollary3", run_corollary3().render(), t)
+    t = time.time()
+    record("ablation incrimination", run_incrimination(packets=30_000, seed=0).render(), t)
+    t = time.time()
+    record("ablation burst", run_burst_loss(packets=8_000, seed=0).render(), t)
+
+    t = time.time()
+    from repro.experiments.ablations import run_corollary2
+    record("ablation corollary2", run_corollary2(seed=0).render(), t)
+
+    with open(OUT, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {OUT}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (and plain `python setup.py develop`)
+in offline environments whose pip cannot build PEP 517 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

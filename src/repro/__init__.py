@@ -1,0 +1,35 @@
+"""repro — reproduction of "Packet-dropping Adversary Identification for
+Data Plane Security" (Zhang, Jain & Perrig, ACM CoNEXT 2008).
+
+Top-level convenience exports cover the everyday workflow: describe a
+scenario, build a protocol on a simulator, drive traffic, read the
+verdict. The subpackages hold the full system — see the package map in
+README.md and the per-experiment index in DESIGN.md.
+
+>>> from repro import ProtocolParams, Simulator, paper_scenario
+>>> scenario = paper_scenario(params=ProtocolParams(probe_frequency=0.5))
+>>> protocol = scenario.build_protocol("paai1", Simulator(seed=1))
+>>> protocol.run_traffic(count=5000, rate=2000.0)
+>>> sorted(protocol.identify().convicted)
+[4]
+"""
+
+from repro.core.params import ProtocolParams
+from repro.core.identification import IdentificationResult, identify_links
+from repro.net.simulator import Simulator
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.workloads.scenarios import Scenario, paper_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolParams",
+    "IdentificationResult",
+    "identify_links",
+    "Simulator",
+    "available_protocols",
+    "make_protocol",
+    "Scenario",
+    "paper_scenario",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Adversary models (§3.2).
+
+The paper's adversary controls an arbitrary set of intermediate nodes
+(knowing their keys), can eavesdrop anywhere, and may drop, alter, or
+inject packets on links under its control — but cannot change the natural
+loss rate of links. This package provides the strategies used in the
+evaluation plus the specific attacks the protocol design defends against:
+
+* :class:`~repro.adversary.uniform.UniformDropper` — drop every packet kind
+  at one rate: Corollary 1's optimal strategy and the §8.1 configuration;
+* :class:`~repro.adversary.selective.SelectiveDropper` — per-packet-kind
+  (and per-direction) drop rates, for the Corollary 1 ablation;
+* :class:`~repro.adversary.incriminate.IncriminationAttacker` — footnote
+  6's selective ack-dropping attack against subset-acknowledgment schemes;
+* :class:`~repro.adversary.withhold.WithholdingAttacker` — §5's
+  withhold-until-probe attack, defeated by timestamp freshness;
+* :class:`~repro.adversary.collusion.CollusionCoordinator` — multiple
+  compromised nodes sharing a drop budget to stay under per-link
+  thresholds;
+* :class:`~repro.adversary.forge.ReportForger` — alters reports in transit
+  (alteration must score exactly like a drop, per §5);
+* :class:`~repro.adversary.paper.PaperTacticAdversary` — the §8.1
+  evaluation adversary (tactics (a)+(b): forward drops at egress, ack
+  swallowing at ingress, honest report handling);
+* :class:`~repro.adversary.timing.IntermittentDropper` /
+  :class:`~repro.adversary.timing.DelayAttacker` — on/off bursts that
+  dilute cumulative scoring, and pure delay attacks (timing ≡ drop).
+"""
+
+from repro.adversary.base import AdversaryStrategy, PassThrough
+from repro.adversary.collusion import CollusionCoordinator
+from repro.adversary.forge import ReportForger
+from repro.adversary.incriminate import IncriminationAttacker
+from repro.adversary.paper import PaperTacticAdversary
+from repro.adversary.selective import SelectiveDropper
+from repro.adversary.timing import DelayAttacker, IntermittentDropper
+from repro.adversary.uniform import UniformDropper
+from repro.adversary.withhold import WithholdingAttacker
+
+__all__ = [
+    "AdversaryStrategy",
+    "PassThrough",
+    "UniformDropper",
+    "SelectiveDropper",
+    "IncriminationAttacker",
+    "WithholdingAttacker",
+    "CollusionCoordinator",
+    "ReportForger",
+    "PaperTacticAdversary",
+    "IntermittentDropper",
+    "DelayAttacker",
+]

@@ -1,0 +1,75 @@
+"""Adversary strategy interface.
+
+A strategy is installed on a node (``node.adversary = strategy``) and
+consulted at *egress*: the node first runs its honest protocol logic
+(storing identifiers, preparing acks — matching §8.1's tactic that a
+malicious node which dropped a data packet still answers the ack request
+as if it had forwarded it), then the strategy decides the packet's fate on
+the outgoing link.
+
+``process`` returns:
+
+* the packet unchanged — behave honestly;
+* ``None`` — drop the packet (recorded as a deliberate drop in the path
+  statistics, attributed to this node);
+* a different packet — alteration/injection; §5 requires the protocols to
+  treat this exactly like a drop, which the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Optional
+
+from repro.net.packets import Direction, Packet
+
+
+class AdversaryStrategy(ABC):
+    """Decides the fate of each packet leaving a compromised node."""
+
+    def __init__(self) -> None:
+        self.drop_log: Counter = Counter()
+        self.alter_log: Counter = Counter()
+
+    @abstractmethod
+    def process(
+        self, node, packet: Packet, direction: Direction
+    ) -> Optional[Packet]:
+        """Egress hook: return the packet to transmit, or None to drop."""
+
+    def process_ingress(
+        self, node, packet: Packet, direction: Direction
+    ) -> Optional[Packet]:
+        """Ingress hook: return the packet to deliver to the node's
+        protocol logic, or None to swallow it *before* processing.
+
+        Swallowing at ingress models §8.1's tactic (b): the compromised
+        node pretends it never received the packet, keeping its protocol
+        state intact — so a later probe still finds it responsive and the
+        blame lands on its downstream adjacent link. Default: honest.
+        """
+        return packet
+
+    # -- bookkeeping helpers for subclasses --------------------------------
+
+    def _drop(self, packet: Packet, direction: Direction) -> None:
+        self.drop_log[(packet.kind, direction)] += 1
+
+    def _alter(self, packet: Packet, direction: Direction) -> None:
+        self.alter_log[(packet.kind, direction)] += 1
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drop_log.values())
+
+    @property
+    def total_alterations(self) -> int:
+        return sum(self.alter_log.values())
+
+
+class PassThrough(AdversaryStrategy):
+    """A strategy that never misbehaves (control runs / bypassed nodes)."""
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        return packet

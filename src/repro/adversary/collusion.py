@@ -1,0 +1,132 @@
+"""Colluding multi-node adversaries.
+
+Theorem 1: ``z`` malicious links can jointly cause an end-to-end malicious
+drop rate of ``z * alpha`` without detection — each compromised link stays
+just under the per-link threshold. The coordinator implements that optimal
+collusion: it owns strategies on several nodes and splits a total drop
+budget across them so that no single link's rate exceeds its share.
+
+Corollary 2's network-wide statement (one malicious link per path is
+optimal across paths) is exercised analytically in
+:mod:`repro.analysis.bounds`; here we model collusion *within* one path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import Direction, Packet
+
+
+class _Member(AdversaryStrategy):
+    """One colluding node's strategy; defers rate decisions to the group."""
+
+    def __init__(self, coordinator: "CollusionCoordinator", position: int) -> None:
+        super().__init__()
+        self._coordinator = coordinator
+        self.position = position
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if self._coordinator.should_drop(self.position, packet, direction):
+            self._drop(packet, direction)
+            return None
+        return packet
+
+
+class CollusionCoordinator:
+    """Splits a total malicious drop budget across colluding nodes.
+
+    Parameters
+    ----------
+    positions:
+        Node positions under adversarial control.
+    per_node_rate:
+        Drop rate applied at each member (the threshold-evading choice is
+        just below ``alpha`` minus the natural loss of the adjacent link).
+    rng:
+        Dedicated random stream.
+    mode:
+        ``"independent"`` — each member drops i.i.d. at ``per_node_rate``;
+        ``"round-robin"`` — members take turns so each *drop event* rotates
+        through the group, sharing the score growth evenly (the "share the
+        drops amongst themselves" tactic of §4).
+    """
+
+    def __init__(
+        self,
+        positions: Sequence[int],
+        per_node_rate: float,
+        rng: random.Random,
+        mode: str = "independent",
+    ) -> None:
+        if not positions:
+            raise ConfigurationError("collusion requires at least one node")
+        if len(set(positions)) != len(positions):
+            raise ConfigurationError("duplicate positions in collusion group")
+        if not 0.0 <= per_node_rate <= 1.0:
+            raise ConfigurationError(
+                f"per-node rate must be in [0, 1], got {per_node_rate}"
+            )
+        if mode not in ("independent", "round-robin"):
+            raise ConfigurationError(f"unknown collusion mode {mode!r}")
+        self.positions = list(positions)
+        self.per_node_rate = per_node_rate
+        self._rng = rng
+        self._mode = mode
+        self._turn = 0
+        self.members: Dict[int, _Member] = {
+            position: _Member(self, position) for position in self.positions
+        }
+
+    def strategy_for(self, position: int) -> AdversaryStrategy:
+        """The strategy object to install at ``position``."""
+        try:
+            return self.members[position]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"node {position} is not part of this collusion group"
+            ) from exc
+
+    def should_drop(self, position: int, packet: Packet, direction: Direction) -> bool:
+        if self.per_node_rate == 0.0:
+            return False
+        if self._mode == "independent":
+            return self._rng.random() < self.per_node_rate
+        # Round-robin: scale the group decision so the aggregate drop rate
+        # matches `per_node_rate * len(positions)`, but attribute each drop
+        # to the member whose turn it is.
+        group_rate = min(1.0, self.per_node_rate * len(self.positions))
+        if self._rng.random() >= group_rate:
+            return False
+        chosen = self.positions[self._turn % len(self.positions)]
+        self._turn += 1
+        return chosen == position
+
+    @property
+    def total_drops(self) -> int:
+        return sum(member.total_drops for member in self.members.values())
+
+    def drops_by_position(self) -> Dict[int, int]:
+        return {pos: member.total_drops for pos, member in self.members.items()}
+
+    def bypass(self, position: Optional[int] = None) -> None:
+        """Neutralize one member (or all) — models source-side rerouting."""
+        if position is None:
+            self.per_node_rate = 0.0
+            return
+        member = self.strategy_for(position)
+        # Removing the member from the rotation neutralizes it.
+        self.positions = [p for p in self.positions if p != position]
+        if not self.positions:
+            self.per_node_rate = 0.0
+        member._coordinator = _NullCoordinator()
+
+
+class _NullCoordinator:
+    """Coordinator stub for bypassed members: never drops."""
+
+    def should_drop(self, position, packet, direction) -> bool:
+        return False

@@ -1,0 +1,77 @@
+"""Report alteration and ack injection.
+
+§5 fixes the semantics: the source must interpret *any* alteration exactly
+as a drop, because the crypto layer reduces a mangled report to "invalid
+from some layer onward". This strategy alters instead of dropping, letting
+the integration tests check the equivalence — the blamed link under a
+flipping adversary must match the blamed link under a dropping adversary.
+
+Two modes:
+
+* ``corrupt`` — flip bytes of the report in transit (alteration);
+* ``replace`` — substitute a self-made forged report (injection). Without
+  the honest nodes' keys, forged layers cannot verify, so the source's
+  verdict still lands on a link adjacent to the forger.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import AckPacket, Direction, Packet, PacketKind, clone_with_report
+
+
+class ReportForger(AdversaryStrategy):
+    """Alter ack reports with probability ``rate``.
+
+    Parameters
+    ----------
+    rate:
+        Per-ack alteration probability.
+    rng:
+        Dedicated random stream.
+    mode:
+        ``"corrupt"`` (bit-flip) or ``"replace"`` (forged substitute).
+    targets:
+        ``"all"`` acks, or ``"reports"`` to alter only report-carrying
+        acks (leaving plain e2e acks untouched).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: random.Random,
+        mode: str = "corrupt",
+        targets: str = "all",
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"alteration rate must be in [0, 1], got {rate}")
+        if mode not in ("corrupt", "replace"):
+            raise ConfigurationError(f"unknown forger mode {mode!r}")
+        if targets not in ("all", "reports"):
+            raise ConfigurationError(f"unknown forger targets {targets!r}")
+        self.rate = rate
+        self._rng = rng
+        self._mode = mode
+        self._targets = targets
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if packet.kind is not PacketKind.ACK:
+            return packet
+        if self._targets == "reports" and not getattr(packet, "is_report", False):
+            return packet
+        if self.rate == 0.0 or self._rng.random() >= self.rate:
+            return packet
+        assert isinstance(packet, AckPacket)
+        self._alter(packet, direction)
+        if self._mode == "replace" or not packet.report:
+            forged = bytes(self._rng.getrandbits(8) for _ in range(max(32, len(packet.report))))
+            return clone_with_report(packet, forged, origin=node.position)
+        mangled = bytearray(packet.report)
+        index = self._rng.randrange(len(mangled))
+        mangled[index] ^= 1 + self._rng.randrange(255)
+        return clone_with_report(packet, bytes(mangled), origin=packet.origin)

@@ -1,0 +1,75 @@
+"""Footnote 6's incrimination attack.
+
+Against a *naive* subset-acknowledgment scheme — one where the adversary
+can tell which node was selected to ack — a malicious node can frame an
+honest link ``l_h``: drop the ack whenever ``F_{h+1}`` is selected and
+behave honestly whenever ``F_h`` is selected, creating a score difference
+between ``l_{h-1}`` and ``l_h`` that convicts the honest link.
+
+PAAI-2 defeats the attack by making selection *oblivious*: the constant-
+size re-encrypted ack reveals nothing about its origin. To demonstrate
+both halves of that claim, this strategy takes a ``selection_oracle``:
+
+* oracle provided (modeling a leaky protocol): the attack works, and the
+  ablation experiment shows an honest link's score inflating;
+* oracle absent (PAAI-2's actual guarantee): the attacker can only guess,
+  implemented here as random ack drops — which Theorem 1's accounting
+  charges to the attacker's own adjacent links.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import Direction, Packet, PacketKind
+
+
+class IncriminationAttacker(AdversaryStrategy):
+    """Selective ack-dropping to frame the honest link ``l_target``.
+
+    Parameters
+    ----------
+    target_link:
+        Index ``h`` of the honest link to incriminate.
+    selection_oracle:
+        Callable mapping a packet identifier to the selected node's
+        position, or None when the protocol hides the selection (PAAI-2).
+    guess_rate:
+        Drop probability used when no oracle is available (blind guessing).
+    rng:
+        Dedicated random stream.
+    """
+
+    def __init__(
+        self,
+        target_link: int,
+        selection_oracle: Optional[Callable[[bytes], int]],
+        rng: random.Random,
+        guess_rate: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if target_link < 0:
+            raise ConfigurationError("target link must be non-negative")
+        if not 0.0 <= guess_rate <= 1.0:
+            raise ConfigurationError(f"guess rate must be in [0, 1], got {guess_rate}")
+        self.target_link = target_link
+        self._oracle = selection_oracle
+        self._guess_rate = guess_rate
+        self._rng = rng
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if packet.kind is not PacketKind.ACK or direction is not Direction.REVERSE:
+            return packet
+        if self._oracle is not None:
+            selected = self._oracle(packet.identifier)
+            if selected == self.target_link + 1:
+                self._drop(packet, direction)
+                return None
+            return packet
+        if self._guess_rate > 0.0 and self._rng.random() < self._guess_rate:
+            self._drop(packet, direction)
+            return None
+        return packet

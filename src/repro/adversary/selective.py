@@ -1,0 +1,63 @@
+"""Per-kind / per-direction selective dropping.
+
+Corollary 1 states that an adversary gains nothing by dropping different
+packet types at different rates: any drop increments the drop count of the
+link where it happened. This strategy lets the ablation experiments verify
+that claim empirically — e.g., drop only probes, only acks, or only data,
+with independent rates per direction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple, Union
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import Direction, Packet, PacketKind
+
+RateKey = Union[PacketKind, Tuple[PacketKind, Direction]]
+
+
+class SelectiveDropper(AdversaryStrategy):
+    """Drop packets with kind-specific (optionally direction-specific) rates.
+
+    Parameters
+    ----------
+    rates:
+        Mapping from :class:`PacketKind` (applies to both directions) or
+        ``(PacketKind, Direction)`` tuples to drop probabilities. Missing
+        keys default to 0 (honest behavior).
+    rng:
+        Dedicated random stream.
+
+    Examples
+    --------
+    Drop only end-to-end acks on the return path::
+
+        SelectiveDropper({(PacketKind.ACK, Direction.REVERSE): 0.05}, rng)
+    """
+
+    def __init__(self, rates: Dict[RateKey, float], rng: random.Random) -> None:
+        super().__init__()
+        self._rates: Dict[Tuple[PacketKind, Direction], float] = {}
+        for key, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"drop rate must be in [0, 1], got {rate}")
+            if isinstance(key, PacketKind):
+                for direction in Direction:
+                    self._rates[(key, direction)] = rate
+            else:
+                kind, direction = key
+                self._rates[(kind, direction)] = rate
+        self._rng = rng
+
+    def rate_for(self, kind: PacketKind, direction: Direction) -> float:
+        return self._rates.get((kind, direction), 0.0)
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        rate = self.rate_for(packet.kind, direction)
+        if rate > 0.0 and self._rng.random() < rate:
+            self._drop(packet, direction)
+            return None
+        return packet

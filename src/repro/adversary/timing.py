@@ -1,0 +1,114 @@
+"""Timing-based adversaries: intermittent (on/off) droppers and delayers.
+
+Two strategies that attack the *measurement* rather than just the traffic:
+
+* :class:`IntermittentDropper` — behaves honestly for long stretches and
+  attacks in bursts. Against the paper's cumulative scoring, the clean
+  history dilutes the per-link estimate below the threshold while every
+  "on" period still damages throughput; the windowed scoring extension
+  (:mod:`repro.core.windows`) closes this gap, and the window ablation
+  quantifies the trade.
+
+* :class:`DelayAttacker` — never drops, only *delays* packets past the
+  protocol's wait-timers. §5's "alteration ≡ drop" principle extends to
+  timing: a too-late ack is indistinguishable from a lost one, so the
+  blame must land on the delayer's adjacent links exactly as for a
+  dropper (verified in the attack tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Set
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import Direction, Packet, PacketKind
+
+
+class IntermittentDropper(AdversaryStrategy):
+    """Drops forward data/probes at ``rate``, but only during "on" bursts.
+
+    The duty cycle is counted in *forwarded data packets*: the strategy is
+    off for ``off_packets``, on for ``on_packets``, repeating.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        off_packets: int,
+        on_packets: int,
+        rng: random.Random,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        if off_packets < 0 or on_packets <= 0:
+            raise ConfigurationError("need off_packets >= 0, on_packets > 0")
+        self.rate = rate
+        self.off_packets = off_packets
+        self.on_packets = on_packets
+        self._rng = rng
+        self._seen = 0
+
+    @property
+    def attacking(self) -> bool:
+        cycle = self.off_packets + self.on_packets
+        return (self._seen % cycle) >= self.off_packets
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if direction is not Direction.FORWARD or packet.kind not in (
+            PacketKind.DATA,
+            PacketKind.PROBE,
+        ):
+            return packet
+        active = self.attacking
+        if packet.kind is PacketKind.DATA:
+            self._seen += 1
+        if active and self.rate > 0.0 and self._rng.random() < self.rate:
+            self._drop(packet, direction)
+            return None
+        return packet
+
+    def bypass(self) -> None:
+        self.rate = 0.0
+
+
+class DelayAttacker(AdversaryStrategy):
+    """Delays (never drops) forward traffic by a fixed amount.
+
+    Implemented at egress: the packet is withheld and re-sent after
+    ``delay`` seconds of simulation time. A delay exceeding the
+    source/forwarder wait-timers makes the traffic useless — timers fire,
+    reports regenerate, and the blame lands on the delayer's downstream
+    link just as for a dropper.
+    """
+
+    def __init__(self, delay: float) -> None:
+        super().__init__()
+        if delay <= 0:
+            raise ConfigurationError("delay must be positive")
+        self.delay = delay
+        self._releasing: Set[int] = set()
+        #: Packets released after the hold.
+        self.delayed = 0
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if direction is not Direction.FORWARD or packet.kind not in (
+            PacketKind.DATA,
+            PacketKind.PROBE,
+        ):
+            return packet
+        marker = id(packet)
+        if marker in self._releasing:
+            self._releasing.discard(marker)
+            return packet
+        self._drop(packet, direction)  # accounted as interference
+        self.delayed += 1
+
+        def release():
+            self._releasing.add(marker)
+            node.send_forward(packet)
+
+        node.set_timer(self.delay, release)
+        return None

@@ -1,0 +1,50 @@
+"""The uniform dropper — the paper's evaluation adversary.
+
+§8.1: "the adversary drops all types of packets at the same rate", which
+Corollary 1 shows is as damaging as any per-type mix. Each packet leaving
+the compromised node, in either direction, is dropped independently with
+the configured rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.adversary.base import AdversaryStrategy
+from repro.exceptions import ConfigurationError
+from repro.net.packets import Direction, Packet
+
+
+class UniformDropper(AdversaryStrategy):
+    """Drop every packet with probability ``rate``, regardless of kind.
+
+    Parameters
+    ----------
+    rate:
+        Per-packet drop probability (the paper's running example uses 0.02
+        at node F4, and 0.1 in the Figure 3(c) experiment).
+    rng:
+        Dedicated random stream.
+    """
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"drop rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if self.rate > 0.0 and self._rng.random() < self.rate:
+            self._drop(packet, direction)
+            return None
+        return packet
+
+    def bypass(self) -> None:
+        """Stop dropping — models the source routing around the adversary.
+
+        The Figure 3 experiments "bypass" the identified node by resetting
+        its drop rate to zero (§8.2.2), which this implements directly.
+        """
+        self.rate = 0.0

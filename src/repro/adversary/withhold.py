@@ -1,0 +1,66 @@
+"""§5's withhold-until-probe attack.
+
+Under delayed sampling, a malicious node might *withhold* a data packet
+until the corresponding probe arrives (or fails to arrive) to learn whether
+the packet is monitored before deciding its fate: forward the packet late
+when it turns out to be sampled, silently drop it otherwise.
+
+The countermeasure is the timestamp freshness check backed by loose time
+synchronization: a withheld packet's embedded timestamp has expired by the
+time it is released, so downstream honest nodes discard it — the withhold
+becomes indistinguishable from a drop at the adversary's own link, which is
+exactly what the scoring then records. The integration tests run this
+strategy against PAAI-1 and assert the adversary's adjacent link is still
+the one convicted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.adversary.base import AdversaryStrategy
+from repro.net.packets import DataPacket, Direction, Packet, PacketKind
+
+
+class WithholdingAttacker(AdversaryStrategy):
+    """Withhold data packets; release them only when a probe reveals that
+    they were sampled.
+
+    The strategy is installed at egress, so the node has already stored the
+    identifier and will answer probes "honestly" — the strongest version of
+    the attack.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._held: Dict[bytes, DataPacket] = {}
+        self._releasing: set = set()
+        #: Data packets released after their probe arrived (late forwards).
+        self.released = 0
+        #: Data packets never released (no probe ever came: unmonitored).
+        self.suppressed = 0
+
+    def process(self, node, packet: Packet, direction: Direction) -> Optional[Packet]:
+        if direction is Direction.FORWARD and packet.kind is PacketKind.DATA:
+            if packet.identifier in self._releasing:
+                # This is our own late release re-entering egress: let it go.
+                self._releasing.discard(packet.identifier)
+                return packet
+            # Withhold: do not transmit now; remember for possible release.
+            self._held[packet.identifier] = packet
+            self._drop(packet, direction)
+            return None
+        if direction is Direction.FORWARD and packet.kind is PacketKind.PROBE:
+            held = self._held.pop(packet.identifier, None)
+            if held is not None:
+                # The packet turned out to be monitored: release it (late).
+                self.released += 1
+                self._releasing.add(held.identifier)
+                node.send_forward(held)
+            return packet
+        return packet
+
+    def finalize(self) -> None:
+        """Account packets never probed (call at end of simulation)."""
+        self.suppressed += len(self._held)
+        self._held.clear()

@@ -1,0 +1,39 @@
+"""Theoretical analysis of §7: Theorems 1-2, Corollaries 1-3, and the
+communication/storage overhead formulas of Table 1."""
+
+from repro.analysis.bounds import (
+    malicious_drop_bound,
+    optimal_strategy_drop_rates,
+    psi_threshold,
+)
+from repro.analysis.detection import (
+    detection_packets,
+    detection_time_minutes,
+    statfl_detection_packets,
+    tau1_fullack,
+    tau2_paai1,
+    tau3_paai2,
+)
+from repro.analysis.hoeffding import hoeffding_sample_size, hoeffding_deviation
+from repro.analysis.overhead import (
+    communication_overhead,
+    storage_bound_packets,
+)
+from repro.analysis.comparison import table1_rows
+
+__all__ = [
+    "malicious_drop_bound",
+    "optimal_strategy_drop_rates",
+    "psi_threshold",
+    "tau1_fullack",
+    "tau2_paai1",
+    "tau3_paai2",
+    "statfl_detection_packets",
+    "detection_packets",
+    "detection_time_minutes",
+    "hoeffding_sample_size",
+    "hoeffding_deviation",
+    "communication_overhead",
+    "storage_bound_packets",
+    "table1_rows",
+]

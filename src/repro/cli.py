@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli table2 [--runs N]
+    python -m repro.cli figure2 --protocol {full-ack,paai1,paai2,...}
+    python -m repro.cli figure3 --panel {a,b,c}
+    python -m repro.cli example-rates
+    python -m repro.cli practicality
+    python -m repro.cli report [--scale full] [--out report.txt]
+    python -m repro.cli ablation {corollary1,corollary2,corollary3,
+                                  incrimination,burst,window}
+
+Every command prints a plain-text table; ``--json`` dumps the structured
+result instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.detection import (
+    statfl_detection_packets,
+    tau1_fullack,
+    tau2_paai1,
+    tau3_paai2,
+)
+from repro.analysis.overhead import practicality_summary
+from repro.core.params import ProtocolParams
+from repro.experiments.ablations import (
+    run_burst_loss,
+    run_corollary1,
+    run_corollary2,
+    run_corollary3,
+    run_incrimination,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3_panel
+from repro.experiments.report import render_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.protocols.registry import available_protocols
+
+
+def _json_default(value):
+    if dataclasses.is_dataclass(value):
+        return dataclasses.asdict(value)
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, set):
+        return sorted(value)
+    return str(value)
+
+
+def _emit(args, result) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(result, default=_json_default, indent=2))
+    else:
+        print(result.render() if hasattr(result, "render") else result)
+
+
+def _cmd_table1(args) -> None:
+    _emit(args, run_table1(sending_rate=args.rate))
+
+
+def _cmd_table2(args) -> None:
+    _emit(args, run_table2(runs=args.runs, seed=args.seed))
+
+
+def _cmd_figure2(args) -> None:
+    result = run_figure2(
+        args.protocol, runs=args.runs, horizon=args.horizon, seed=args.seed
+    )
+    if getattr(args, "json", False):
+        _emit(args, result)
+    else:
+        # Figure 2(c)'s per-link view is the point of the PAAI-2 panel.
+        per_link = args.per_link or args.protocol == "paai2"
+        print(result.render(per_link=per_link))
+
+
+def _cmd_figure3(args) -> None:
+    _emit(
+        args,
+        run_figure3_panel(args.panel, packets=args.packets, seed=args.seed),
+    )
+
+
+def _cmd_example_rates(args) -> None:
+    params = ProtocolParams()
+    table = render_table(
+        headers=["quantity", "packets"],
+        rows=[
+            ["tau1 (full-ack)", tau1_fullack(params)],
+            ["tau2 (PAAI-1)", tau2_paai1(params)],
+            ["tau3 (PAAI-2)", tau3_paai2(params)],
+            ["statistical FL", statfl_detection_packets(params)],
+        ],
+        title="§7.2 example detection rates",
+    )
+    print(table)
+
+
+def _cmd_practicality(args) -> None:
+    params = ProtocolParams(probe_frequency=1.0 / (5 * 36))
+    summary = practicality_summary(params, args.rate)
+    rows = [
+        [
+            name,
+            values["detection_minutes"],
+            values["comm_overhead_units"],
+            values["storage_worst_packets"],
+        ]
+        for name, values in summary.items()
+    ]
+    print(
+        render_table(
+            headers=[
+                "protocol",
+                "detection (min)",
+                "comm (units/pkt)",
+                "storage worst (pkts)",
+            ],
+            rows=rows,
+            title=f"§9 practicality at p=1/(5 d^2), rate {args.rate:g} pkt/s",
+        )
+    )
+
+
+def _cmd_comm_table(args) -> None:
+    from repro.experiments.comm_table import run_comm_table
+
+    _emit(args, run_comm_table(packets=args.packets, seed=args.seed))
+
+
+def _cmd_sweeps(args) -> None:
+    from repro.experiments.sweeps import run_corollary3_measured
+
+    for result in run_corollary3_measured(runs=args.runs, seed=args.seed):
+        print(result.render())
+        print()
+
+
+def _cmd_report(args) -> None:
+    from repro.experiments.runner import run_all
+
+    report = run_all(
+        scale=args.scale, seed=args.seed,
+        progress=lambda name: print(f"[done] {name}", flush=True),
+    )
+    if args.out:
+        report.save(args.out)
+        print(f"report written to {args.out}")
+    else:
+        print(report.render())
+
+
+def _cmd_ablation(args) -> None:
+    if args.name == "corollary1":
+        _emit(args, run_corollary1(seed=args.seed))
+    elif args.name == "corollary2":
+        _emit(args, run_corollary2(seed=args.seed))
+    elif args.name == "corollary3":
+        _emit(args, run_corollary3())
+    elif args.name == "incrimination":
+        _emit(args, run_incrimination(packets=args.packets, seed=args.seed))
+    elif args.name == "burst":
+        _emit(args, run_burst_loss(seed=args.seed))
+    elif args.name == "window":
+        from repro.experiments.ablations import run_window_ablation
+
+        _emit(args, run_window_ablation(seed=args.seed))
+    elif args.name == "theorem1":
+        from repro.experiments.ablations import run_theorem1_sharpness
+
+        _emit(args, run_theorem1_sharpness(seed=args.seed))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-aai",
+        description=(
+            "Reproduction harness for 'Packet-dropping Adversary "
+            "Identification for Data Plane Security' (CoNEXT 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="Table 1: analytic comparison")
+    p.add_argument("--rate", type=float, default=100.0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="Table 2: theory vs simulation")
+    p.add_argument("--runs", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("figure2", help="Figure 2: FP/FN over time")
+    p.add_argument(
+        "--protocol", choices=available_protocols(), default="paai1"
+    )
+    p.add_argument("--runs", type=int, default=2000)
+    p.add_argument("--horizon", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--per-link", action="store_true", dest="per_link",
+                   help="also print per-link error curves (Figure 2c view)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_figure2)
+
+    p = sub.add_parser("figure3", help="Figure 3: storage over time")
+    p.add_argument("--panel", choices=["a", "b", "c"], default="a")
+    p.add_argument("--packets", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_figure3)
+
+    p = sub.add_parser("example-rates", help="§7.2 in-text example")
+    p.set_defaults(func=_cmd_example_rates)
+
+    p = sub.add_parser("practicality", help="§9 practicality numbers")
+    p.add_argument("--rate", type=float, default=100.0)
+    p.set_defaults(func=_cmd_practicality)
+
+    p = sub.add_parser(
+        "comm-table", help="measured communication overhead (extension)"
+    )
+    p.add_argument("--packets", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_comm_table)
+
+    p = sub.add_parser(
+        "sweeps", help="measured Corollary 3 parameter sweeps (extension)"
+    )
+    p.add_argument("--runs", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_sweeps)
+
+    p = sub.add_parser(
+        "report", help="regenerate every table/figure into one report"
+    )
+    p.add_argument("--scale", choices=["quick", "full"], default="quick")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("ablation", help="Corollary / attack ablations")
+    p.add_argument(
+        "name",
+        choices=["corollary1", "corollary2", "corollary3", "incrimination",
+                 "burst", "window", "theorem1"],
+    )
+    p.add_argument("--packets", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

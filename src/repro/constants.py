@@ -1,0 +1,67 @@
+"""Canonical constants for the CoNEXT 2008 reproduction.
+
+These are the parameter values used throughout the paper's running example
+(§7.2, §8.1) and therefore the defaults across the library:
+
+* path length ``d = 6`` hops (nodes F0=S, F1..F5, F6=D);
+* natural per-link loss rate ``rho = 0.01``;
+* per-link drop-rate threshold ``alpha = 0.03`` (so ``epsilon = 0.02``);
+* allowed false-positive rate ``sigma = 0.03``;
+* PAAI-1 probe frequency ``p = 1/d**2``;
+* the malicious *node* is F4 with node drop rate 0.02, which makes the
+  downstream adjacent link l4 exhibit a total drop rate of about alpha;
+* per-link one-way latency is uniform in ``[0, 5]`` milliseconds in each
+  direction, giving a worst-case source round-trip time of 60 ms on the
+  d=6 path;
+* source sending rates of 100 and 1000 data packets per second.
+"""
+
+from __future__ import annotations
+
+#: Default path length (number of links / hops) in the paper's evaluation.
+DEFAULT_PATH_LENGTH = 6
+
+#: Default natural (benign) per-link drop rate rho.
+DEFAULT_NATURAL_LOSS = 0.01
+
+#: Default per-link drop-rate threshold alpha (= rho + epsilon).
+DEFAULT_ALPHA = 0.03
+
+#: Default accuracy parameter epsilon = alpha - rho.
+DEFAULT_EPSILON = DEFAULT_ALPHA - DEFAULT_NATURAL_LOSS
+
+#: Default allowed false-positive probability sigma.
+DEFAULT_SIGMA = 0.03
+
+#: Index of the malicious node in the paper's running example (F4).
+DEFAULT_MALICIOUS_NODE = 4
+
+#: Drop rate applied by the malicious node in the running example. Together
+#: with the two adjacent natural losses this yields theta_l4 ~= alpha.
+DEFAULT_MALICIOUS_NODE_DROP = 0.02
+
+#: Maximum per-link one-way latency in seconds (paper: 0-5 ms uniform).
+DEFAULT_MAX_LINK_LATENCY = 0.005
+
+#: Source sending rates evaluated in §8 (data packets per second).
+SENDING_RATE_FAST = 1000.0
+SENDING_RATE_SLOW = 100.0
+
+#: Data packet size assumed in §9 practicality numbers (bytes, 1.5 KB MTU).
+DEFAULT_PACKET_SIZE = 1500
+
+#: Digest size (bytes) for packet identifiers H(m).
+IDENTIFIER_SIZE = 32
+
+#: Truncated MAC size (bytes) used in reports; 8 bytes is ample for a
+#: simulation study and keeps onion reports compact.
+MAC_SIZE = 8
+
+#: Converged-condition packet counts used by the Figure 3 experiments
+#: (paper §8.2.2: full-ack, PAAI-1, PAAI-2 converge after these many
+#: data packets under the running example).
+CONVERGENCE_PACKETS = {
+    "full-ack": 1_000,
+    "paai1": 25_000,
+    "paai2": 300_000,
+}

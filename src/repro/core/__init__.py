@@ -1,0 +1,24 @@
+"""Core AAI machinery shared by all protocols.
+
+This package holds the paper's primary conceptual contribution in reusable
+form: the parameterization of an AAI deployment (§3.1/§7 notation), the
+drop-score bookkeeping, the per-link loss estimators each protocol's
+scoring rule induces, the end-to-end drop-rate monitor (ψ vs ψ_th), and the
+conviction logic that turns estimates into identified malicious links.
+"""
+
+from repro.core.estimators import DifferenceEstimator, DirectEstimator
+from repro.core.identification import IdentificationResult, identify_links
+from repro.core.monitor import EndToEndMonitor
+from repro.core.params import ProtocolParams
+from repro.core.scoring import ScoreBoard
+
+__all__ = [
+    "ProtocolParams",
+    "ScoreBoard",
+    "DirectEstimator",
+    "DifferenceEstimator",
+    "EndToEndMonitor",
+    "IdentificationResult",
+    "identify_links",
+]

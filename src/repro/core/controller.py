@@ -1,0 +1,132 @@
+"""Closed-loop response: monitor, identify, bypass.
+
+The Figure 3 experiments assume that "the source bypasses the identified
+link" once the protocol converges (§8.2.2) — the paper performs the bypass
+by fiat at the known convergence packet count. This module closes the loop
+the way a deployment would: an :class:`AAIController` periodically runs
+the confidence-aware identify pass and, on the first *confident*
+conviction, invokes a response callback (rerouting; in simulation,
+neutralizing the adversary) — no oracle knowledge of the convergence time
+required.
+
+The controller also records what a paper evaluation wants to know: when
+the conviction fired (in simulation time and in packets sent) and what
+verdict triggered it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ConvictionEvent:
+    """One conviction the controller acted on."""
+
+    time: float
+    packets_sent: int
+    rounds: int
+    convicted: Set[int] = field(default_factory=set)
+
+
+class AAIController:
+    """Periodically evaluates the protocol's verdict and responds.
+
+    Parameters
+    ----------
+    protocol:
+        A wired :class:`~repro.protocols.base.WireProtocol`.
+    on_conviction:
+        Callback ``(event) -> None`` invoked once per newly-convicted link
+        set; typically routes around the link / bypasses the adversary.
+    check_interval:
+        Simulation seconds between identify passes.
+    confident:
+        Use the confidence-aware verdict (default) or the point-estimate
+        verdict.
+    """
+
+    def __init__(
+        self,
+        protocol,
+        on_conviction: Callable[[ConvictionEvent], None],
+        check_interval: float = 0.5,
+        confident: bool = True,
+    ) -> None:
+        if check_interval <= 0:
+            raise ConfigurationError("check_interval must be positive")
+        self.protocol = protocol
+        self.on_conviction = on_conviction
+        self.check_interval = check_interval
+        self.confident = confident
+        self.events: List[ConvictionEvent] = []
+        self._acted_on: Set[int] = set()
+        self._running = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic check on the protocol's simulator."""
+        if self._running:
+            raise ConfigurationError("controller already started")
+        self._running = True
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self.protocol.simulator.schedule_in(self.check_interval, self._tick)
+
+    def _tick(self) -> None:
+        self.check_now()
+        if self._running:
+            self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- verdict handling ------------------------------------------------------
+
+    def check_now(self) -> Optional[ConvictionEvent]:
+        """Run one identify pass; act on newly-convicted links."""
+        if self.confident:
+            verdict = self.protocol.confident_identify()
+            convicted = set(verdict.convicted)
+        else:
+            convicted = set(self.protocol.identify().convicted)
+        fresh = convicted - self._acted_on
+        if not fresh:
+            return None
+        self._acted_on |= fresh
+        event = ConvictionEvent(
+            time=self.protocol.simulator.now,
+            packets_sent=self.protocol.path.stats.data_sent,
+            rounds=self.protocol.board.rounds,
+            convicted=fresh,
+        )
+        self.events.append(event)
+        self.on_conviction(event)
+        return event
+
+    @property
+    def first_conviction(self) -> Optional[ConvictionEvent]:
+        return self.events[0] if self.events else None
+
+    @property
+    def convicted_links(self) -> Set[int]:
+        return set(self._acted_on)
+
+
+def bypass_adversaries(adversaries) -> Callable[[ConvictionEvent], None]:
+    """Response callback factory: neutralize the adversary strategies at
+    the convicted links' upstream nodes (the simulation analog of routing
+    around the identified link)."""
+
+    def respond(event: ConvictionEvent) -> None:
+        for link in event.convicted:
+            strategy = adversaries.get(link)
+            if strategy is not None and hasattr(strategy, "bypass"):
+                strategy.bypass()
+
+    return respond

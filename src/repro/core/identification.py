@@ -1,0 +1,84 @@
+"""Conviction: turning per-link estimates into identified malicious links.
+
+The identify phase of every protocol is the same comparison: convict link
+``l_i`` when its estimated drop rate exceeds the decision threshold. This
+module also packages the outcome in a form the metrics layer consumes —
+which links were convicted, and whether the verdict is a false positive /
+false negative relative to a known ground truth (simulation only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class IdentificationResult:
+    """Outcome of one identify() evaluation.
+
+    Attributes
+    ----------
+    convicted:
+        Links whose estimate exceeded the threshold.
+    estimates:
+        The per-link estimates the verdict was based on.
+    rounds:
+        Observation rounds backing the estimates.
+    """
+
+    convicted: Set[int]
+    estimates: List[float]
+    rounds: int
+    thresholds: List[float] = field(default_factory=list)
+
+    def false_positives(self, malicious_links: Sequence[int]) -> Set[int]:
+        """Convicted links that are actually honest."""
+        return self.convicted - set(malicious_links)
+
+    def false_negatives(self, malicious_links: Sequence[int]) -> Set[int]:
+        """Malicious links that escaped conviction."""
+        return set(malicious_links) - self.convicted
+
+    def is_exact(self, malicious_links: Sequence[int]) -> bool:
+        """True when the verdict matches ground truth exactly."""
+        return self.convicted == set(malicious_links)
+
+
+def identify_links(
+    estimates: Sequence[float],
+    threshold,
+    rounds: int = 0,
+) -> IdentificationResult:
+    """Convict every link whose estimate exceeds its threshold.
+
+    ``threshold`` is either a scalar applied to every link or a per-link
+    sequence (calibrated thresholds).
+
+    >>> result = identify_links([0.01, 0.05, 0.008], threshold=0.02)
+    >>> result.convicted
+    {1}
+    """
+    if isinstance(threshold, (int, float)):
+        thresholds = [float(threshold)] * len(estimates)
+    else:
+        thresholds = [float(value) for value in threshold]
+        if len(thresholds) != len(estimates):
+            raise ConfigurationError(
+                f"got {len(thresholds)} thresholds for {len(estimates)} links"
+            )
+    if any(value <= 0.0 for value in thresholds):
+        raise ConfigurationError("thresholds must be positive")
+    convicted = {
+        index
+        for index, (estimate, limit) in enumerate(zip(estimates, thresholds))
+        if estimate > limit
+    }
+    return IdentificationResult(
+        convicted=convicted,
+        estimates=list(estimates),
+        rounds=rounds,
+        thresholds=thresholds,
+    )

@@ -1,0 +1,52 @@
+"""End-to-end drop-rate monitoring.
+
+PAAI-2's phase 5 (and §5's general scoring discussion) has the source track
+the end-to-end data drop rate ψ from sent packets vs. successfully
+acknowledged packets, and compare it against the threshold
+``psi_th = 1 - (1 - alpha)^{2d}`` from Theorem 1(b): ψ exceeding ψ_th is
+the alarm that at least one link's rate exceeds α, which triggers (or
+corroborates) localization.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+class EndToEndMonitor:
+    """Tracks ψ, the observed end-to-end data-packet drop rate.
+
+    Parameters
+    ----------
+    psi_threshold:
+        The alarm threshold ``psi_th``.
+    """
+
+    def __init__(self, psi_threshold: float) -> None:
+        if not 0.0 < psi_threshold < 1.0:
+            raise ConfigurationError("psi_threshold must be in (0, 1)")
+        self.psi_threshold = psi_threshold
+        self.sent = 0
+        self.acknowledged = 0
+
+    def record_sent(self) -> None:
+        self.sent += 1
+
+    def record_acknowledged(self) -> None:
+        self.acknowledged += 1
+
+    @property
+    def psi(self) -> float:
+        """Observed end-to-end drop rate (0 before any packet)."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.acknowledged / self.sent
+
+    @property
+    def alarm(self) -> bool:
+        """True when ψ exceeds ψ_th — adversary presence indicated."""
+        return self.psi > self.psi_threshold
+
+    def reset(self) -> None:
+        self.sent = 0
+        self.acknowledged = 0

@@ -1,0 +1,207 @@
+"""Protocol parameterization.
+
+Collects the quantities §3/§7 of the paper parameterize the protocols by:
+path length ``d``, natural per-link loss ``rho``, per-link drop-rate
+threshold ``alpha = rho + epsilon``, allowed false-positive rate ``sigma``,
+the PAAI-1 probe frequency ``p``, and the engineering knobs (latency bound,
+probe authentication, freshness window) that the wire implementation needs.
+
+A note on the conviction threshold: the paper convicts a link when its
+estimated rate exceeds ``alpha``, while its running example makes the
+malicious link's *true* rate equal ``alpha`` — under which reading the
+false-negative rate would not converge to zero. Theorem 2's Hoeffding
+argument (the ``8*eps**2`` factor) tests against the midpoint
+``rho + eps/2``; we follow the math: ``decision_threshold`` defaults to
+``(rho + alpha) / 2`` and is exposed for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constants import (
+    DEFAULT_ALPHA,
+    DEFAULT_MAX_LINK_LATENCY,
+    DEFAULT_NATURAL_LOSS,
+    DEFAULT_PACKET_SIZE,
+    DEFAULT_PATH_LENGTH,
+    DEFAULT_SIGMA,
+)
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ProtocolParams:
+    """Parameters of one AAI deployment on one path.
+
+    Attributes
+    ----------
+    path_length:
+        ``d`` — number of links.
+    natural_loss:
+        ``rho`` — maximum natural per-link drop rate.
+    alpha:
+        Per-link drop-rate threshold; a link whose *true* rate exceeds
+        ``alpha`` must be convicted (Theorem 1's accounting unit).
+    sigma:
+        Allowed false-positive probability for the converged condition.
+    probe_frequency:
+        PAAI-1's ``p``; defaults to ``1/d**2``, the paper's choice that
+        yields O(1/d) amortized communication overhead.
+    decision_threshold:
+        Estimate level above which a link is convicted. ``None`` (default)
+        lets each protocol pick its own midpoint: estimators that observe
+        only forward drops (PAAI-2, statistical FL) use
+        ``rho + epsilon/2``; onion-report blame counts both directions of
+        a round (data forward, ack/report reverse), so those protocols
+        use ``(1 - (1-rho)**2) + epsilon/2`` — which for the paper's
+        rho=0.01, epsilon=0.02 comes out to alpha itself, exactly the
+        paper's "convict when theta_i > alpha" rule.
+    max_link_latency:
+        Per-direction worst-case link latency (seconds); wait-timers and
+        the freshness window derive from it.
+    authenticated_probes:
+        Footnote 7: attach a per-hop MAC chain to probes, making them
+        O(d)-sized but unforgeable.
+    data_packet_size:
+        Bytes per data packet, for overhead ratios (§9 uses 1500).
+    freshness_window:
+        Maximum acceptable data-packet timestamp age at an intermediate
+        node. Defaults to ``r0`` (the loose-synchronization requirement is
+        that clock error stays below ``min(r0)``; a window of ``r0`` admits
+        honest in-flight packets while expiring withheld ones).
+    """
+
+    path_length: int = DEFAULT_PATH_LENGTH
+    natural_loss: float = DEFAULT_NATURAL_LOSS
+    alpha: float = DEFAULT_ALPHA
+    sigma: float = DEFAULT_SIGMA
+    probe_frequency: Optional[float] = None
+    decision_threshold: Optional[float] = None
+    max_link_latency: float = DEFAULT_MAX_LINK_LATENCY
+    authenticated_probes: bool = False
+    data_packet_size: int = DEFAULT_PACKET_SIZE
+    freshness_window: Optional[float] = None
+    #: PAAI-1's delayed-sampling gap: seconds between a data packet and
+    #: its probe. The paper's performance accounting implicitly assumes an
+    #: immediate probe (0.0, the default); defeating the §5 withholding
+    #: attack requires ``probe_delay > freshness_window >= r0/2`` — see
+    #: :meth:`secure_delayed_sampling` and DESIGN.md.
+    probe_delay: float = 0.0
+    #: Sliding-window size (in observation rounds) for windowed scoring,
+    #: or None for the paper's purely cumulative scores. Windowed scoring
+    #: catches intermittent (on/off) adversaries that dilute cumulative
+    #: estimates with a clean history (see repro.core.windows).
+    score_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.path_length <= 0:
+            raise ConfigurationError("path_length must be positive")
+        if not 0.0 <= self.natural_loss < 1.0:
+            raise ConfigurationError("natural_loss must be in [0, 1)")
+        if not self.natural_loss < self.alpha < 1.0:
+            raise ConfigurationError(
+                f"need natural_loss < alpha < 1 (got rho={self.natural_loss}, "
+                f"alpha={self.alpha})"
+            )
+        if not 0.0 < self.sigma < 1.0:
+            raise ConfigurationError("sigma must be in (0, 1)")
+        if self.probe_frequency is None:
+            self.probe_frequency = 1.0 / self.path_length ** 2
+        if not 0.0 < self.probe_frequency <= 1.0:
+            raise ConfigurationError("probe_frequency must be in (0, 1]")
+        if self.decision_threshold is not None and self.decision_threshold <= 0:
+            raise ConfigurationError("decision_threshold must be positive")
+        if self.max_link_latency <= 0:
+            raise ConfigurationError("max_link_latency must be positive")
+        if self.freshness_window is None:
+            self.freshness_window = self.r0
+        if self.freshness_window <= 0:
+            raise ConfigurationError("freshness_window must be positive")
+        if self.probe_delay < 0:
+            raise ConfigurationError("probe_delay must be non-negative")
+        if self.score_window is not None and self.score_window <= 0:
+            raise ConfigurationError("score_window must be positive")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def epsilon(self) -> float:
+        """``eps = alpha - rho``."""
+        return self.alpha - self.natural_loss
+
+    @property
+    def forward_midpoint_threshold(self) -> float:
+        """Midpoint threshold for forward-only estimators: ``rho + eps/2``."""
+        return self.natural_loss + self.epsilon / 2.0
+
+    @property
+    def round_trip_midpoint_threshold(self) -> float:
+        """Midpoint threshold for bidirectional (onion-blame) estimators.
+
+        An honest link is blamed when either its forward or its reverse
+        passage drops naturally: rate ``1 - (1-rho)**2``; a malicious link
+        adds up to ``eps`` on top. The midpoint is natural + ``eps/2``.
+        """
+        return (1.0 - (1.0 - self.natural_loss) ** 2) + self.epsilon / 2.0
+
+    @property
+    def r0(self) -> float:
+        """Worst-case source round-trip time ``r_0 = 2 d L_max``."""
+        return 2.0 * self.path_length * self.max_link_latency
+
+    def rtt_bound(self, position: int) -> float:
+        """Worst-case RTT ``r_i`` from node ``i`` to the destination."""
+        if not 0 <= position <= self.path_length:
+            raise ConfigurationError(f"position {position} off path")
+        return 2.0 * (self.path_length - position) * self.max_link_latency
+
+    @property
+    def psi_threshold(self) -> float:
+        """Theorem 1(b)'s end-to-end threshold ``psi_th = 1-(1-alpha)^2d``.
+
+        The exponent ``2d`` counts both directions: a data packet and its
+        ack together make ``2d`` link traversals, each of which must
+        survive for the source to observe a delivery.
+        """
+        return 1.0 - (1.0 - self.alpha) ** (2 * self.path_length)
+
+    def secure_delayed_sampling(self) -> "ProtocolParams":
+        """Return a copy hardened against §5's withholding attack.
+
+        A withholder releases a data packet only once the probe reveals it
+        is monitored, so the packet's timestamp must have *expired* by
+        then at every honest downstream node: ``probe_delay`` must exceed
+        the freshness window, which in turn must admit the worst honest
+        transit (``r0/2``). This configuration sets
+        ``probe_delay = 0.75 r0`` and ``freshness_window = 0.55 r0``.
+
+        The cost is storage: nodes must hold packet state for
+        ``probe_delay + r0/2`` instead of ``r0/2``, i.e. about 2.5x the
+        paper's PAAI-1 bound — an inconsistency in the paper's accounting
+        that the reproduction surfaces (see DESIGN.md §2).
+        """
+        return self.replace(
+            probe_delay=0.75 * self.r0,
+            freshness_window=0.55 * self.r0,
+        )
+
+    def replace(self, **overrides) -> "ProtocolParams":
+        """Return a copy with the given fields replaced (re-validated)."""
+        fields = {
+            "path_length": self.path_length,
+            "natural_loss": self.natural_loss,
+            "alpha": self.alpha,
+            "sigma": self.sigma,
+            "probe_frequency": self.probe_frequency,
+            "decision_threshold": self.decision_threshold,
+            "max_link_latency": self.max_link_latency,
+            "authenticated_probes": self.authenticated_probes,
+            "data_packet_size": self.data_packet_size,
+            "freshness_window": self.freshness_window,
+            "probe_delay": self.probe_delay,
+            "score_window": self.score_window,
+        }
+        fields.update(overrides)
+        return ProtocolParams(**fields)

@@ -1,0 +1,70 @@
+"""Drop-score bookkeeping.
+
+Every AAI protocol in the paper reduces its observations to integer *drop
+scores* per link, accumulated over *observation rounds* (a probed packet in
+full-ack/PAAI-1, every data packet in PAAI-2). The board also keeps the
+ground-truth-free round count ``n`` that normalizes scores into rates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import ConfigurationError
+
+
+class ScoreBoard:
+    """Per-link drop scores ``s_0 .. s_{d-1}`` plus the round counter."""
+
+    def __init__(self, path_length: int) -> None:
+        if path_length <= 0:
+            raise ConfigurationError("path_length must be positive")
+        self.path_length = path_length
+        self._scores: List[int] = [0] * path_length
+        self._rounds = 0
+
+    @property
+    def rounds(self) -> int:
+        """Number of observation rounds recorded so far (``n``)."""
+        return self._rounds
+
+    @property
+    def scores(self) -> List[int]:
+        """A copy of the current per-link scores."""
+        return list(self._scores)
+
+    def score(self, link: int) -> int:
+        self._check_link(link)
+        return self._scores[link]
+
+    def record_round(self) -> None:
+        """Count one observation round (call exactly once per round)."""
+        self._rounds += 1
+
+    def add(self, link: int, amount: int = 1) -> None:
+        """Add to one link's score (full-ack / PAAI-1 blame)."""
+        self._check_link(link)
+        if amount < 0:
+            raise ConfigurationError("score increments must be non-negative")
+        self._scores[link] += amount
+
+    def add_range(self, links: Iterable[int], amount: int = 1) -> None:
+        """Add to several links' scores (PAAI-2's interval increment)."""
+        for link in links:
+            self.add(link, amount)
+
+    def add_upstream_interval(self, selected: int) -> None:
+        """PAAI-2 mismatch: +1 to every link in ``[l_0, l_{selected-1}]``."""
+        if not 1 <= selected <= self.path_length:
+            raise ConfigurationError(f"selected node {selected} out of range")
+        self.add_range(range(selected))
+
+    def reset(self) -> None:
+        self._scores = [0] * self.path_length
+        self._rounds = 0
+
+    def _check_link(self, link: int) -> None:
+        if not 0 <= link < self.path_length:
+            raise ConfigurationError(
+                f"link index {link} out of range [0, {self.path_length})"
+            )

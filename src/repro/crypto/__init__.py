@@ -1,0 +1,50 @@
+"""Symmetric-key cryptographic substrate for the AAI protocols.
+
+The paper assumes each node can compute a collision-resistant hash ``h``, a
+keyed pseudorandom function ``PRF``, message authentication codes, and (for
+PAAI-2) symmetric encryption. This package provides all of these, built from
+first principles on top of the SHA-256 compression function exposed by
+:mod:`hashlib`:
+
+* :mod:`repro.crypto.hashing` — packet identifiers ``H(m)``;
+* :mod:`repro.crypto.mac` — HMAC per RFC 2104 (implemented from the padded
+  inner/outer construction, not the ``hmac`` stdlib module) and truncated
+  MACs for compact reports;
+* :mod:`repro.crypto.prf` — a keyed PRF with integer/fraction/predicate
+  output modes;
+* :mod:`repro.crypto.sampling` — PAAI-1's secure sampling (SS) algorithm and
+  PAAI-2's positional predicates ``T_i``;
+* :mod:`repro.crypto.cipher` — a CTR-mode stream cipher built on the PRF,
+  used for PAAI-2's per-hop onion re-encryption;
+* :mod:`repro.crypto.keys` — pairwise key management with separate derived
+  keys for MAC and encryption;
+* :mod:`repro.crypto.onion` — onion reports (§3.3) with fault localization;
+* :mod:`repro.crypto.oblivious` — PAAI-2's oblivious selection/ack layer.
+"""
+
+from repro.crypto.hashing import packet_identifier, hash_bytes
+from repro.crypto.mac import hmac_sha256, mac, verify_mac
+from repro.crypto.prf import PRF
+from repro.crypto.sampling import SecureSampler, SelectionPredicate
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.keys import KeyManager, derive_key
+from repro.crypto.onion import OnionReport, OnionVerifier
+from repro.crypto.oblivious import ObliviousReport, ObliviousDecoder
+
+__all__ = [
+    "packet_identifier",
+    "hash_bytes",
+    "hmac_sha256",
+    "mac",
+    "verify_mac",
+    "PRF",
+    "SecureSampler",
+    "SelectionPredicate",
+    "StreamCipher",
+    "KeyManager",
+    "derive_key",
+    "OnionReport",
+    "OnionVerifier",
+    "ObliviousReport",
+    "ObliviousDecoder",
+]

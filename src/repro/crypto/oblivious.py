@@ -1,0 +1,157 @@
+"""PAAI-2's oblivious selection-and-acknowledgment layer (§6.2).
+
+The acknowledgment traveling back toward the source must not reveal *where*
+it originated: if an adversary could tell which node was selected, it could
+selectively drop acks from honest nodes to incriminate honest links
+(footnote 6). PAAI-2 therefore keeps the ack at a constant size and has
+every node transform it under its own key:
+
+* a node that originates a report produces
+  ``A_i = E_{K_i}([i || c || a_d]_{K_i})`` — an authenticated report,
+  encrypted under its pairwise key;
+* every other node *re-encrypts* what it received:
+  ``A_i = E_{K_i}(A_{i+1})``.
+
+Because the stream cipher uses a fresh nonce per hop, each hop's output is
+indistinguishable from random regardless of whether the node overwrote or
+merely re-encrypted — the obliviousness property, checked by a statistical
+test in the test suite.
+
+The source, knowing every key, strips layers ``K_1..K_e`` (where ``F_e`` is
+the node it knows to be *selected* for this challenge) and accepts the probe
+round iff the result parses as ``F_e``'s authenticated report for the right
+challenge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.mac import mac, verify_mac
+from repro.constants import MAC_SIZE
+from repro.exceptions import ConfigurationError, DecryptionError
+
+#: Flag byte marking whether the report carries a destination ack.
+_HAS_ACK = b"\x01"
+_NO_ACK = b"\x00"
+
+_HEADER_SIZE = 2 + 4 + 4 + 1
+
+
+class ObliviousReport:
+    """Node-side construction of PAAI-2 reports."""
+
+    @staticmethod
+    def originate(
+        position: int,
+        challenge: bytes,
+        dest_ack: Optional[bytes],
+        mac_key: bytes,
+        enc_key: bytes,
+        rng=None,
+    ) -> bytes:
+        """Build ``E_{K_i}([i || c || a_d]_{K_i})``.
+
+        ``dest_ack`` is the copy of the destination's end-to-end ack stored
+        during phase 1, or None for the paper's ``a_d = ⊥``.
+        """
+        if not 0 <= position < 2 ** 16:
+            raise ConfigurationError(f"position {position} out of range")
+        ack = b"" if dest_ack is None else bytes(dest_ack)
+        flag = _NO_ACK if dest_ack is None else _HAS_ACK
+        body = (
+            position.to_bytes(2, "big")
+            + len(challenge).to_bytes(4, "big")
+            + len(ack).to_bytes(4, "big")
+            + flag
+            + bytes(challenge)
+            + ack
+        )
+        inner = body + mac(mac_key, body)
+        return StreamCipher(enc_key, rng=rng).encrypt(inner)
+
+    @staticmethod
+    def reencrypt(report: bytes, enc_key: bytes, rng=None) -> bytes:
+        """Re-encrypt a downstream report: ``A_i = E_{K_i}(A_{i+1})``."""
+        return StreamCipher(enc_key, rng=rng).encrypt(report)
+
+
+@dataclass
+class DecodedReport:
+    """Source-side decode outcome for one PAAI-2 probe round.
+
+    ``matches`` is the paper's phase-4 test: the decoded value is the
+    selected node's authenticated report for this challenge. The remaining
+    fields are populated only on a match.
+    """
+
+    matches: bool
+    position: Optional[int] = None
+    has_dest_ack: bool = False
+    dest_ack: Optional[bytes] = None
+
+
+class ObliviousDecoder:
+    """Source-side decoder holding all per-node keys.
+
+    Parameters
+    ----------
+    enc_keys, mac_keys:
+        Encryption and MAC subkeys for nodes ``1..d`` in path order.
+    """
+
+    def __init__(self, enc_keys: Sequence[bytes], mac_keys: Sequence[bytes]) -> None:
+        if len(enc_keys) != len(mac_keys) or not enc_keys:
+            raise ConfigurationError("need matching non-empty key lists")
+        self._enc_keys = list(enc_keys)
+        self._mac_keys = list(mac_keys)
+
+    def decode(
+        self, report: Optional[bytes], selected: int, challenge: bytes
+    ) -> DecodedReport:
+        """Strip layers ``1..selected`` and check the inner report.
+
+        Never raises on adversarial input: any failure to decode or verify
+        is the protocol-level *mismatch* outcome.
+        """
+        if not 1 <= selected <= len(self._enc_keys):
+            raise ConfigurationError(f"selected index {selected} out of range")
+        if not report:
+            return DecodedReport(matches=False)
+        blob = report
+        for index in range(1, selected + 1):
+            try:
+                blob = StreamCipher(self._enc_keys[index - 1]).decrypt(blob)
+            except DecryptionError:
+                return DecodedReport(matches=False)
+        return self._parse_inner(blob, selected, challenge)
+
+    def _parse_inner(
+        self, blob: bytes, selected: int, challenge: bytes
+    ) -> DecodedReport:
+        if len(blob) < _HEADER_SIZE + MAC_SIZE:
+            return DecodedReport(matches=False)
+        position = int.from_bytes(blob[0:2], "big")
+        challenge_len = int.from_bytes(blob[2:6], "big")
+        ack_len = int.from_bytes(blob[6:10], "big")
+        flag = blob[10:11]
+        total = _HEADER_SIZE + challenge_len + ack_len + MAC_SIZE
+        if len(blob) != total or position != selected:
+            return DecodedReport(matches=False)
+        body = blob[: _HEADER_SIZE + challenge_len + ack_len]
+        tag = blob[len(body) :]
+        if not verify_mac(self._mac_keys[selected - 1], body, tag):
+            return DecodedReport(matches=False)
+        embedded = blob[_HEADER_SIZE : _HEADER_SIZE + challenge_len]
+        if embedded != bytes(challenge):
+            return DecodedReport(matches=False)
+        ack = blob[_HEADER_SIZE + challenge_len : _HEADER_SIZE + challenge_len + ack_len]
+        has_ack = flag == _HAS_ACK and ack_len > 0
+        return DecodedReport(
+            matches=True,
+            position=position,
+            has_dest_ack=has_ack,
+            dest_ack=ack if has_ack else None,
+        )

@@ -1,0 +1,174 @@
+"""Onion reports (§3.3) and their verification.
+
+An onion report authenticates, hop by hop, how far along the path a packet
+(or its ack) travelled. Node ``F_d`` (or whichever node originates the
+report) produces ``A_d = [d || R_d]_{K_d}``; each upstream node ``F_i``
+wraps what it received: ``A_i = [i || R_i || A_{i+1}]_{K_i}``, where
+``[x]_K`` denotes ``x`` together with a MAC over ``x`` under ``K``.
+
+The source verifies layers outside-in with the pairwise keys. If layers
+``1..i`` verify but layer ``i+1`` is invalid or absent, the drop is located
+at link ``l_i`` — the central fault-localization step of the full-ack and
+PAAI-1 protocols. The security property (an adversary at ``F_z`` cannot
+shift blame off its adjacent links) follows from unforgeability of the
+layers it does not own, and is exercised directly in the test suite.
+
+Wire format of one layer::
+
+    position (2 bytes) || len(payload) (4) || len(inner) (4)
+        || payload || inner || tag (MAC over everything before it)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.constants import MAC_SIZE
+from repro.crypto.mac import mac, verify_mac
+from repro.exceptions import ConfigurationError
+
+_HEADER_SIZE = 2 + 4 + 4
+
+
+class OnionReport:
+    """Builder for onion report layers (node side)."""
+
+    @staticmethod
+    def originate(position: int, payload: bytes, mac_key: bytes) -> bytes:
+        """Create the innermost layer ``A_k = [k || payload]_{K_k}``.
+
+        Used by the destination in the normal case and by the deepest
+        reached node when its wait-timer expires without a downstream ack.
+        """
+        return OnionReport._encode(position, payload, b"", mac_key)
+
+    @staticmethod
+    def wrap(position: int, payload: bytes, inner: bytes, mac_key: bytes) -> bytes:
+        """Wrap a downstream report: ``A_i = [i || payload || A_{i+1}]_{K_i}``."""
+        if not inner:
+            raise ConfigurationError("wrap requires a non-empty inner report")
+        return OnionReport._encode(position, payload, inner, mac_key)
+
+    @staticmethod
+    def _encode(position: int, payload: bytes, inner: bytes, mac_key: bytes) -> bytes:
+        if not 0 <= position < 2 ** 16:
+            raise ConfigurationError(f"position {position} out of range")
+        header = (
+            position.to_bytes(2, "big")
+            + len(payload).to_bytes(4, "big")
+            + len(inner).to_bytes(4, "big")
+        )
+        body = header + bytes(payload) + bytes(inner)
+        return body + mac(mac_key, body)
+
+
+@dataclass
+class OnionLayer:
+    """One decoded, MAC-valid layer of an onion report."""
+
+    position: int
+    payload: bytes
+
+
+@dataclass
+class OnionVerdict:
+    """Outcome of verifying a full onion report at the source.
+
+    Attributes
+    ----------
+    deepest_valid:
+        Largest ``i`` such that layers ``1..i`` are all present, valid, and
+        carry the expected positions. Zero when even the outermost layer
+        fails.
+    layers:
+        The decoded valid layers, outermost first.
+    blamed_link:
+        The link the paper's rule localizes the fault to: ``l_i`` where
+        ``i = deepest_valid`` — meaningful only when the report terminated
+        early (``complete`` is False).
+    complete:
+        True when the innermost valid layer is a leaf (an *originating*
+        layer) — i.e. the report is structurally whole rather than cut off
+        by a verification failure in some deeper layer.
+    """
+
+    deepest_valid: int
+    layers: List[OnionLayer] = field(default_factory=list)
+    complete: bool = False
+
+    @property
+    def blamed_link(self) -> int:
+        return self.deepest_valid
+
+    def origin(self) -> Optional[int]:
+        """Position of the node that originated the report, if it verified."""
+        if not self.layers:
+            return None
+        return self.layers[-1].position
+
+
+class OnionVerifier:
+    """Source-side verifier holding the MAC keys of all path nodes.
+
+    Parameters
+    ----------
+    mac_keys:
+        MAC subkeys ``[K_1, ..., K_d]`` in path order.
+    """
+
+    def __init__(self, mac_keys: Sequence[bytes]) -> None:
+        if not mac_keys:
+            raise ConfigurationError("verifier needs at least one key")
+        self._keys = list(mac_keys)
+
+    @property
+    def path_length(self) -> int:
+        return len(self._keys)
+
+    def verify(self, report: Optional[bytes]) -> OnionVerdict:
+        """Verify ``report`` outside-in and locate the first bad layer.
+
+        Returns an :class:`OnionVerdict`; never raises on malformed input —
+        a mangled report is an expected adversarial event, reflected as a
+        small ``deepest_valid``.
+        """
+        verdict = OnionVerdict(deepest_valid=0)
+        remaining = report
+        expected_position = 1
+        while remaining:
+            parsed = self._parse_layer(remaining, expected_position)
+            if parsed is None:
+                return verdict  # cut off by an invalid layer: incomplete
+            payload, inner = parsed
+            verdict.layers.append(
+                OnionLayer(position=expected_position, payload=payload)
+            )
+            verdict.deepest_valid = expected_position
+            expected_position += 1
+            remaining = inner
+        # Loop fell through on an empty inner blob: the innermost valid
+        # layer is a true originating leaf.
+        verdict.complete = bool(verdict.layers)
+        return verdict
+
+    def _parse_layer(self, blob: bytes, expected_position: int):
+        """Parse and MAC-check one layer; None on any failure."""
+        if expected_position > len(self._keys):
+            return None
+        if len(blob) < _HEADER_SIZE + MAC_SIZE:
+            return None
+        position = int.from_bytes(blob[0:2], "big")
+        payload_len = int.from_bytes(blob[2:6], "big")
+        inner_len = int.from_bytes(blob[6:10], "big")
+        total = _HEADER_SIZE + payload_len + inner_len + MAC_SIZE
+        if position != expected_position or len(blob) != total:
+            return None
+        body = blob[: _HEADER_SIZE + payload_len + inner_len]
+        tag = blob[_HEADER_SIZE + payload_len + inner_len :]
+        key = self._keys[expected_position - 1]
+        if not verify_mac(key, body, tag):
+            return None
+        payload = blob[_HEADER_SIZE : _HEADER_SIZE + payload_len]
+        inner = blob[_HEADER_SIZE + payload_len : _HEADER_SIZE + payload_len + inner_len]
+        return payload, inner

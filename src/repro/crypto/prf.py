@@ -1,0 +1,94 @@
+"""Keyed pseudorandom function.
+
+The AAI protocols use a PRF for three purposes:
+
+* PAAI-1's secure sampling algorithm — map a packet identifier to a Yes/No
+  decision that fires with a fixed probability ``p`` and is unpredictable
+  without the sampling key (§6.1 phase 1);
+* PAAI-2's positional predicates ``T_i`` — map a probe challenge ``Z`` to a
+  true/false decision that fires with probability ``1/(d-i+1)`` (§6.2
+  phase 2);
+* keystream generation for the CTR cipher in :mod:`repro.crypto.cipher`.
+
+All three reduce to "derive a uniformly distributed value from (key,
+input)". We realize the PRF as HMAC-SHA256 with domain-separation labels and
+expose integer, fraction and Bernoulli output modes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import hmac_sha256
+
+
+class PRF:
+    """A keyed PRF with convenience output modes.
+
+    Parameters
+    ----------
+    key:
+        Secret PRF key.
+    label:
+        Domain-separation label. Two PRFs with the same key but different
+        labels produce independent-looking outputs, which is how a single
+        pairwise key safely serves multiple protocol roles.
+    """
+
+    #: Number of bytes of PRF output used to build fractions; 8 bytes gives
+    #: 64 bits of precision, far more than the probabilities involved need.
+    _FRACTION_BYTES = 8
+
+    def __init__(self, key: bytes, label: str = "") -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("PRF key must be bytes")
+        self._key = bytes(key)
+        self._prefix = label.encode("utf-8") + b"\x00"
+
+    def digest(self, data: bytes) -> bytes:
+        """Return the raw 32-byte PRF output on ``data``."""
+        return hmac_sha256(self._key, self._prefix + bytes(data))
+
+    def integer(self, data: bytes, modulus: int) -> int:
+        """Return a PRF-derived integer in ``[0, modulus)``.
+
+        Uses 16 bytes of output so modulo bias is negligible for any modulus
+        the protocols use (moduli are at most path lengths or counters).
+        """
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        value = int.from_bytes(self.digest(data)[:16], "big")
+        return value % modulus
+
+    def fraction(self, data: bytes) -> float:
+        """Return a PRF-derived float uniform in ``[0, 1)``."""
+        value = int.from_bytes(self.digest(data)[: self._FRACTION_BYTES], "big")
+        return value / float(1 << (8 * self._FRACTION_BYTES))
+
+    def bernoulli(self, data: bytes, probability: float) -> bool:
+        """Return True with the given probability, deterministically in ``data``.
+
+        This is the core of both the secure sampling algorithm and the
+        ``T_i`` predicates: the decision is a pure function of (key, data),
+        so the keyholder can recompute it, while to anyone else it is
+        indistinguishable from an independent coin flip.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self.fraction(data) < probability
+
+    def keystream(self, nonce: bytes, length: int) -> bytes:
+        """Return ``length`` pseudorandom bytes bound to ``nonce``.
+
+        CTR construction: block ``i`` is ``PRF(nonce || i)``. Used by
+        :class:`repro.crypto.cipher.StreamCipher`.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        blocks = []
+        produced = 0
+        counter = 0
+        while produced < length:
+            block = self.digest(bytes(nonce) + counter.to_bytes(8, "big"))
+            blocks.append(block)
+            produced += len(block)
+            counter += 1
+        return b"".join(blocks)[:length]

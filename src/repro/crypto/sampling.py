@@ -1,0 +1,116 @@
+"""Secure sampling and oblivious node selection.
+
+Two sampling mechanisms from the paper:
+
+* **Secure sampling (SS), PAAI-1 §6.1.** The source decides with fixed
+  probability ``p`` whether a data packet must be probed. The decision is a
+  PRF of the packet identifier under a key known *only to the source*, so an
+  adversary observing a packet cannot tell whether it will be probed — the
+  property that makes unmonitored traffic safe to carry.
+
+* **Selection predicates ``T_i``, PAAI-2 §6.2.** On receiving a probe with
+  challenge ``Z``, node ``F_i`` computes a predicate under its own pairwise
+  key that is true with probability ``1/(d-i+1)``. The *selected* node is
+  the first sampled one; the telescoping product makes the selected index
+  uniform on ``{1, ..., d}`` with the destination (``T_d`` true with
+  probability 1) as the backstop. The source knows every pairwise key and
+  can therefore recompute which node was selected; no one else can.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.crypto.prf import PRF
+from repro.exceptions import ConfigurationError
+
+
+class SecureSampler:
+    """PAAI-1's SS algorithm: sample packets with fixed probability ``p``.
+
+    >>> sampler = SecureSampler(key=b"k" * 16, probability=0.25)
+    >>> isinstance(sampler.is_sampled(b"some-identifier"), bool)
+    True
+    """
+
+    def __init__(self, key: bytes, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"sampling probability must be in [0, 1], got {probability}"
+            )
+        self._prf = PRF(key, label="paai1-secure-sampling")
+        self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        """The configured probe frequency ``p``."""
+        return self._probability
+
+    def is_sampled(self, identifier: bytes) -> bool:
+        """Return True iff the packet with this identifier must be probed."""
+        return self._prf.bernoulli(identifier, self._probability)
+
+    def count_sampled(self, identifiers: Sequence[bytes]) -> int:
+        """Return how many of ``identifiers`` the sampler selects."""
+        return sum(1 for ident in identifiers if self.is_sampled(ident))
+
+
+class SelectionPredicate:
+    """PAAI-2's positional predicate ``T_i`` for node ``F_i``.
+
+    Parameters
+    ----------
+    key:
+        The pairwise key ``K_i`` shared between the source and ``F_i``.
+    position:
+        The node index ``i`` (1-based; the destination is ``d``).
+    path_length:
+        The path length ``d``.
+    """
+
+    def __init__(self, key: bytes, position: int, path_length: int) -> None:
+        if path_length <= 0:
+            raise ConfigurationError("path length must be positive")
+        if not 1 <= position <= path_length:
+            raise ConfigurationError(
+                f"position must be in [1, {path_length}], got {position}"
+            )
+        self._prf = PRF(key, label="paai2-selection")
+        self._position = position
+        self._path_length = path_length
+
+    @property
+    def probability(self) -> float:
+        """Sampling probability ``1/(d - i + 1)`` for this node."""
+        return 1.0 / (self._path_length - self._position + 1)
+
+    def is_sampled(self, challenge: bytes) -> bool:
+        """Evaluate ``T_i`` on the probe challenge ``Z``."""
+        return self._prf.bernoulli(challenge, self.probability)
+
+
+def selected_node(
+    keys: Sequence[bytes], challenge: bytes, path_length: Optional[int] = None
+) -> int:
+    """Return the index of the node *selected* for ``challenge`` (1-based).
+
+    Implements Definition 1: the selected node is the first sampled node.
+    The source calls this with the full key list ``[K_1, ..., K_d]`` to
+    recompute the selection made distributedly by the nodes. Because
+    ``T_d`` fires with probability 1, a selection always exists.
+
+    >>> keys = [bytes([i]) * 16 for i in range(1, 7)]
+    >>> 1 <= selected_node(keys, b"challenge") <= 6
+    True
+    """
+    if not keys:
+        raise ConfigurationError("at least one key is required")
+    d = path_length if path_length is not None else len(keys)
+    if len(keys) != d:
+        raise ConfigurationError(f"expected {d} keys, got {len(keys)}")
+    for index, key in enumerate(keys, start=1):
+        predicate = SelectionPredicate(key, position=index, path_length=d)
+        if predicate.is_sampled(challenge):
+            return index
+    # Unreachable: T_d has probability 1. Guard against floating error.
+    return d

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol-level
+verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or topology configuration is invalid.
+
+    Raised eagerly at construction time: a path of non-positive length, a
+    probability outside ``[0, 1]``, a threshold ordering violation
+    (``alpha <= rho``), and similar misconfigurations.
+    """
+
+
+class CryptoError(ReproError):
+    """Base class for failures inside the cryptographic substrate."""
+
+
+class KeyError_(CryptoError):
+    """A key lookup failed (unknown node, missing pairwise key)."""
+
+
+class AuthenticationError(CryptoError):
+    """A MAC or onion-report layer failed verification.
+
+    This is the *expected* signal produced when an adversary altered a
+    report: the verification routines raise (or report) it, and the scoring
+    layer converts it into a drop-score increment.
+    """
+
+
+class DecryptionError(CryptoError):
+    """An oblivious (PAAI-2) report failed to decode to the expected value."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the simulation horizon."""
+
+
+class ProtocolError(ReproError):
+    """A protocol agent received a packet it cannot process."""
+
+
+class ConvergenceError(ReproError):
+    """An experiment failed to reach the converged condition in its budget."""

@@ -1,0 +1,21 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+* :mod:`repro.experiments.table1` — Table 1 (analytic comparison);
+* :mod:`repro.experiments.table2` — Table 2 (theory vs. simulation);
+* :mod:`repro.experiments.figure2` — Figure 2(a-c) (FP/FN over time);
+* :mod:`repro.experiments.figure3` — Figure 3(a-c) (storage over time);
+* :mod:`repro.experiments.ablations` — Corollary 1/3 and attack ablations;
+* :mod:`repro.experiments.report` — plain-text rendering of tables/series.
+"""
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3_panel
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "run_table1",
+    "run_table2",
+    "run_figure2",
+    "run_figure3_panel",
+]

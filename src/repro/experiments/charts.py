@@ -1,0 +1,117 @@
+"""ASCII chart rendering for figure outputs.
+
+The offline environment has no plotting stack, but the paper's figures are
+log-scale decay curves and step functions whose *shape* is the result. This
+module renders data series as terminal charts so `figure2`/`figure3` output
+reads like a figure, not just a table: a fixed character grid, optional
+log axes, multiple series overlaid with distinct glyphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Glyphs assigned to successive series.
+GLYPHS = "ox+*#@"
+
+
+def _log_safe(value: float, floor: float) -> float:
+    return math.log10(max(value, floor))
+
+
+def render_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: Optional[str] = None,
+    y_floor: float = 1e-4,
+) -> str:
+    """Render ``[(label, [(x, y), ...]), ...]`` as an ASCII chart.
+
+    ``log_y`` plots y on a log axis with values below ``y_floor`` clamped
+    (Figure 2's FP/FN curves hit exact zero once converged).
+    """
+    if width < 16 or height < 4:
+        raise ConfigurationError("chart too small to be legible")
+    points_by_series = [(label, list(points)) for label, points in series]
+    all_points = [p for _, points in points_by_series for p in points]
+    if not all_points:
+        return f"{title or 'chart'}: (no data)"
+
+    def x_of(value: float) -> float:
+        return _log_safe(value, 1e-12) if log_x else value
+
+    def y_of(value: float) -> float:
+        return _log_safe(value, y_floor) if log_y else value
+
+    xs = [x_of(x) for x, _ in all_points]
+    ys = [y_of(y) for _, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, points) in enumerate(points_by_series):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        for x, y in points:
+            column = int(
+                (x_of(x) - x_low) / (x_high - x_low) * (width - 1)
+            )
+            row = int(
+                (y_of(y) - y_low) / (y_high - y_low) * (height - 1)
+            )
+            grid[height - 1 - row][column] = glyph
+
+    def y_tick(row: int) -> str:
+        value = y_low + (y_high - y_low) * (height - 1 - row) / (height - 1)
+        if log_y:
+            value = 10 ** value
+        return f"{value:8.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        prefix = y_tick(row) if row % 4 == 0 or row == height - 1 else " " * 8
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = 10 ** x_low if log_x else x_low
+    right = 10 ** x_high if log_x else x_high
+    axis = f"{left:<10.4g}"
+    axis += " " * max(0, width - len(axis) - 1)
+    axis += f"{right:>10.4g}"
+    lines.append(" " * 10 + axis)
+    legend = "   ".join(
+        f"{GLYPHS[i % len(GLYPHS)]} {label}"
+        for i, (label, _) in enumerate(points_by_series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def fpfn_chart(curve, title: str) -> str:
+    """Figure 2-style chart: FP and FN vs packets, log-log."""
+    fp = [(cp, rate) for cp, rate in zip(curve.checkpoints, curve.fp_rates)]
+    fn = [(cp, rate) for cp, rate in zip(curve.checkpoints, curve.fn_rates)]
+    return render_chart(
+        [("false positive", fp), ("false negative", fn)],
+        log_x=True,
+        log_y=True,
+        title=title,
+    )
+
+
+def storage_chart(series_list, title: str) -> str:
+    """Figure 3-style chart: storage occupancy vs time, linear axes."""
+    series = [
+        (s.label, [(t, occ) for t, occ in s.samples]) for s in series_list
+    ]
+    return render_chart(series, title=title)

@@ -1,0 +1,165 @@
+"""Experiment E-F3: Figure 3's storage-overhead studies (wire simulation).
+
+* Panel (a): storage at F1 over time, source rate 1000 pkt/s, 2000 data
+  packets; full-ack shown with and without AAI (bypass of the identified
+  adversary after 10^3 packets — its convergence point), PAAI-1 and
+  PAAI-2 without (they have not converged yet at this horizon).
+* Panel (b): same at 100 pkt/s.
+* Panel (c): full-ack storage at F1, F3 and F5 with the malicious node's
+  rate raised to 0.1 and a bypass after 1000 packets (1000 pkt/s).
+
+Storage is measured exactly as in the paper: the number of packets a node
+holds state for at any given time, read from the node's packet store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import SENDING_RATE_FAST, SENDING_RATE_SLOW
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import render_series, render_table
+from repro.metrics.storage import StorageRecorder
+from repro.net.simulator import Simulator
+from repro.protocols.registry import make_protocol
+from repro.workloads.scenarios import Scenario, paper_scenario
+
+
+@dataclass
+class StorageSeries:
+    """One storage-over-time curve."""
+
+    label: str
+    samples: List[Tuple[float, int]]
+    peak: int
+    mean: float
+
+
+@dataclass
+class Figure3Result:
+    """All curves of one Figure 3 panel."""
+
+    panel: str
+    sending_rate: float
+    packets: int
+    series: List[StorageSeries] = field(default_factory=list)
+
+    def render(self, max_rows: int = 25) -> str:
+        from repro.experiments.charts import storage_chart
+
+        blocks = [
+            storage_chart(
+                self.series,
+                f"Figure 3({self.panel}): storage at sampled nodes over time",
+            ),
+            "",
+            render_table(
+                headers=["series", "peak (pkts)", "mean (pkts)"],
+                rows=[[s.label, s.peak, round(s.mean, 2)] for s in self.series],
+                title=(
+                    f"Figure 3({self.panel}): storage overhead, "
+                    f"rate={self.sending_rate:g} pkt/s, {self.packets} packets"
+                ),
+            )
+        ]
+        for series in self.series:
+            samples = series.samples
+            if len(samples) > max_rows:
+                stride = max(1, len(samples) // max_rows)
+                samples = samples[::stride]
+            blocks.append(
+                render_series(
+                    f"\n{series.label}",
+                    [(round(t, 3), occ) for t, occ in samples],
+                    x_label="time (s)",
+                    y_labels=["stored (pkts)"],
+                )
+            )
+        return "\n".join(blocks)
+
+
+def _run_storage_case(
+    protocol_name: str,
+    scenario: Scenario,
+    sending_rate: float,
+    packets: int,
+    observe_nodes: List[int],
+    bypass_after: Optional[int],
+    seed: int,
+    sample_points: int,
+) -> Dict[int, StorageSeries]:
+    simulator = Simulator(seed=seed)
+    adversaries = scenario.build_adversaries(simulator)
+    protocol = make_protocol(
+        protocol_name, simulator, scenario.params, adversaries=adversaries
+    )
+    recorders = {
+        position: StorageRecorder().attach(protocol.path.nodes[position])
+        for position in observe_nodes
+    }
+    if bypass_after is not None and adversaries:
+        bypass_time = bypass_after / sending_rate
+        simulator.schedule_at(
+            bypass_time,
+            lambda: [strategy.bypass() for strategy in adversaries.values()],
+        )
+    protocol.run_traffic(count=packets, rate=sending_rate)
+    horizon = packets / sending_rate + 2.0 * scenario.params.r0
+    step = horizon / sample_points
+    label_suffix = " w/ AAI" if bypass_after is not None else " w/o AAI"
+    series = {}
+    for position, recorder in recorders.items():
+        samples = recorder.resample(0.0, horizon, step)
+        series[position] = StorageSeries(
+            label=f"{protocol_name} F{position}{label_suffix}",
+            samples=samples,
+            peak=recorder.peak,
+            mean=recorder.mean_occupancy(0.0, horizon),
+        )
+    return series
+
+
+def run_figure3_panel(
+    panel: str,
+    packets: int = 2000,
+    seed: int = 0,
+    sample_points: int = 50,
+    params: Optional[ProtocolParams] = None,
+) -> Figure3Result:
+    """Regenerate one panel of Figure 3."""
+    if panel not in ("a", "b", "c"):
+        raise ConfigurationError("panel must be 'a', 'b' or 'c'")
+    if params is None:
+        params = ProtocolParams()
+
+    if panel in ("a", "b"):
+        rate = SENDING_RATE_FAST if panel == "a" else SENDING_RATE_SLOW
+        scenario = paper_scenario(params=params)
+        result = Figure3Result(panel=panel, sending_rate=rate, packets=packets)
+        # Full-ack converges within the horizon: show both cases.
+        for bypass in (1000, None):
+            series = _run_storage_case(
+                "full-ack", scenario, rate, packets, [1], bypass, seed, sample_points
+            )
+            result.series.append(series[1])
+        # PAAI-1 / PAAI-2 have not converged after 2000 packets: w/o AAI.
+        for name in ("paai1", "paai2"):
+            series = _run_storage_case(
+                name, scenario, rate, packets, [1], None, seed, sample_points
+            )
+            result.series.append(series[1])
+        return result
+
+    # Panel (c): full-ack at three positions, F4 dropping at 0.1, with a
+    # bypass after the first 1000 packets.
+    rate = SENDING_RATE_FAST
+    scenario = paper_scenario(params=params, node_drop_rate=0.1)
+    result = Figure3Result(panel=panel, sending_rate=rate, packets=packets)
+    series = _run_storage_case(
+        "full-ack", scenario, rate, packets, [1, 3, 5], 1000, seed, sample_points
+    )
+    for position in (1, 3, 5):
+        result.series.append(series[position])
+    return result

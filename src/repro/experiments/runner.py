@@ -1,0 +1,126 @@
+"""Run every experiment and assemble a single reproduction report.
+
+``run_all`` regenerates Tables 1-2, the Figure 2 panels, the Figure 3
+panels and all ablations at a chosen scale, and returns (and optionally
+writes) one consolidated text report — the "reproduce the paper in one
+command" entry point behind ``python -m repro.cli report``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.experiments.ablations import (
+    run_burst_loss,
+    run_corollary1,
+    run_corollary2,
+    run_corollary3,
+    run_incrimination,
+)
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3_panel
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+#: Scale presets: (table2 runs, figure2 runs, figure3/ablation packets).
+SCALES = {
+    "quick": {"runs": 300, "fig2_runs": 500, "packets": 2000, "abl_packets": 8000},
+    "full": {"runs": 5000, "fig2_runs": 10_000, "packets": 2000,
+             "abl_packets": 30_000},
+}
+
+
+@dataclass
+class ExperimentRecord:
+    """One regenerated experiment."""
+
+    name: str
+    elapsed_seconds: float
+    text: str
+
+
+@dataclass
+class ReproductionReport:
+    """The consolidated report."""
+
+    scale: str
+    records: List[ExperimentRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.elapsed_seconds for record in self.records)
+
+    def render(self) -> str:
+        header = (
+            "Reproduction report — Packet-dropping Adversary Identification "
+            "for Data Plane Security (CoNEXT 2008)\n"
+            f"scale: {self.scale}; total runtime: {self.total_seconds:.1f}s\n"
+        )
+        sections = [header]
+        for record in self.records:
+            sections.append(
+                f"\n{'#' * 70}\n# {record.name} "
+                f"({record.elapsed_seconds:.1f}s)\n{'#' * 70}\n{record.text}"
+            )
+        return "\n".join(sections)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())
+
+
+def run_all(
+    scale: str = "quick",
+    seed: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ReproductionReport:
+    """Regenerate everything at the given scale ('quick' or 'full')."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}")
+    settings = SCALES[scale]
+    report = ReproductionReport(scale=scale)
+
+    def record(name: str, producer: Callable[[], object]) -> None:
+        started = time.time()
+        result = producer()
+        text = result.render() if hasattr(result, "render") else str(result)
+        report.records.append(
+            ExperimentRecord(
+                name=name,
+                elapsed_seconds=time.time() - started,
+                text=text,
+            )
+        )
+        if progress is not None:
+            progress(name)
+
+    record("Table 1", run_table1)
+    record(
+        "Table 2",
+        lambda: run_table2(runs=settings["runs"], seed=seed),
+    )
+    for protocol in ("full-ack", "paai1", "paai2"):
+        record(
+            f"Figure 2 ({protocol})",
+            lambda protocol=protocol: run_figure2(
+                protocol, runs=settings["fig2_runs"], seed=seed
+            ),
+        )
+    for panel in ("a", "b", "c"):
+        record(
+            f"Figure 3 (panel {panel})",
+            lambda panel=panel: run_figure3_panel(
+                panel, packets=settings["packets"], seed=seed
+            ),
+        )
+    record("Ablation: Corollary 1", lambda: run_corollary1(seed=seed))
+    record("Ablation: Corollary 2", lambda: run_corollary2(seed=seed))
+    record("Ablation: Corollary 3", run_corollary3)
+    record(
+        "Ablation: incrimination (footnote 6)",
+        lambda: run_incrimination(packets=settings["abl_packets"], seed=seed),
+    )
+    record("Ablation: burst loss", lambda: run_burst_loss(seed=seed))
+    return report

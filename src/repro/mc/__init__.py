@@ -1,0 +1,5 @@
+"""Vectorized Monte-Carlo engine for the §8 multi-run experiments."""
+
+from repro.mc.detection import DetectionExperiment, DetectionResult
+
+__all__ = ["DetectionExperiment", "DetectionResult"]

@@ -1,0 +1,16 @@
+"""Evaluation metrics: FP/FN confusion over time, storage occupancy,
+communication accounting, and converged-condition detection."""
+
+from repro.metrics.comm import CommunicationSummary, summarize_communication
+from repro.metrics.confusion import FpFnCurve
+from repro.metrics.convergence import convergence_point, first_exact_round
+from repro.metrics.storage import StorageRecorder
+
+__all__ = [
+    "FpFnCurve",
+    "StorageRecorder",
+    "CommunicationSummary",
+    "summarize_communication",
+    "convergence_point",
+    "first_exact_round",
+]

@@ -1,0 +1,79 @@
+"""Communication-overhead accounting from wire statistics.
+
+Table 1's communication column has analytic forms
+(:mod:`repro.analysis.overhead`); this module produces the matching
+*measured* numbers from a finished wire simulation so experiments can show
+them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.packets import PacketKind
+
+
+@dataclass
+class CommunicationSummary:
+    """Measured communication overhead of one wire run.
+
+    Attributes
+    ----------
+    data_bytes / control_bytes:
+        Bytes on the wire (summed over link traversals) for data packets
+        vs. protocol packets (probes and acks).
+    probes / acks:
+        Counts of protocol-packet traversals.
+    overhead_ratio:
+        control_bytes / data_bytes — §9's "additional overhead" measure.
+    per_packet_units:
+        Control-packet traversals per data packet sent, normalized by path
+        length (so one end-to-end O(1) control packet counts ~1 unit).
+    """
+
+    data_bytes: int
+    control_bytes: int
+    probes: int
+    acks: int
+    data_sent: int
+    path_length: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        if self.data_bytes == 0:
+            return 0.0
+        return self.control_bytes / self.data_bytes
+
+    @property
+    def per_packet_units(self) -> float:
+        if self.data_sent == 0:
+            return 0.0
+        return (self.probes + self.acks) / self.data_sent / self.path_length
+
+
+def summarize_communication(protocol) -> CommunicationSummary:
+    """Aggregate a finished wire protocol run's link statistics."""
+    path = protocol.path
+    data_bytes = 0
+    control_bytes = 0
+    probes = 0
+    acks = 0
+    for link in path.links:
+        for kind, size in link.stats.bytes_sent.items():
+            if kind is PacketKind.DATA:
+                data_bytes += size
+            else:
+                control_bytes += size
+        for (kind, _direction), count in link.stats.transmissions.items():
+            if kind is PacketKind.PROBE:
+                probes += count
+            elif kind is PacketKind.ACK:
+                acks += count
+    return CommunicationSummary(
+        data_bytes=data_bytes,
+        control_bytes=control_bytes,
+        probes=probes,
+        acks=acks,
+        data_sent=path.stats.data_sent,
+        path_length=path.length,
+    )

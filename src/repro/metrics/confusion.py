@@ -1,0 +1,94 @@
+"""False-positive / false-negative tracking over time (Figure 2's metric).
+
+§8.1: the paper runs each protocol 10,000 times and plots, at each point
+in time (measured in packets sent), the fraction of runs that currently
+exhibit a false positive (some honest link convicted) and a false negative
+(the malicious link not convicted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class FpFnCurve:
+    """FP/FN rates at a series of checkpoints.
+
+    Attributes
+    ----------
+    checkpoints:
+        Packet counts (time axis, as in Figure 2).
+    fp_rates / fn_rates:
+        Fraction of runs with ≥1 honest link convicted / with some
+        malicious link unconvicted, at each checkpoint.
+    runs:
+        Number of simulation runs aggregated.
+    """
+
+    checkpoints: List[int]
+    fp_rates: List[float]
+    fn_rates: List[float]
+    runs: int
+
+    def __post_init__(self) -> None:
+        if not (len(self.checkpoints) == len(self.fp_rates) == len(self.fn_rates)):
+            raise ConfigurationError("mismatched curve lengths")
+
+    def convergence_packets(self, sigma: float) -> Optional[int]:
+        """First checkpoint where both rates are at or below ``sigma`` and
+        remain there for the rest of the horizon; None if never."""
+        for index in range(len(self.checkpoints)):
+            tail_ok = all(
+                fp <= sigma and fn <= sigma
+                for fp, fn in zip(self.fp_rates[index:], self.fn_rates[index:])
+            )
+            if tail_ok:
+                return self.checkpoints[index]
+        return None
+
+    def as_rows(self) -> List[tuple]:
+        """(checkpoint, fp, fn) rows for table rendering."""
+        return list(zip(self.checkpoints, self.fp_rates, self.fn_rates))
+
+
+def curve_from_convictions(
+    checkpoints: Sequence[int],
+    convictions: np.ndarray,
+    malicious_links: Sequence[int],
+) -> FpFnCurve:
+    """Build a curve from a boolean conviction tensor.
+
+    Parameters
+    ----------
+    convictions:
+        Shape ``(checkpoints, runs, links)``: whether each run had each
+        link convicted at each checkpoint.
+    malicious_links:
+        Ground-truth malicious link indices.
+    """
+    convictions = np.asarray(convictions, dtype=bool)
+    if convictions.ndim != 3:
+        raise ConfigurationError("convictions must be (checkpoints, runs, links)")
+    n_checkpoints, runs, links = convictions.shape
+    if n_checkpoints != len(checkpoints):
+        raise ConfigurationError("checkpoint count mismatch")
+    malicious = np.zeros(links, dtype=bool)
+    for index in malicious_links:
+        malicious[index] = True
+    fp = convictions[:, :, ~malicious].any(axis=2).mean(axis=1)
+    if malicious.any():
+        fn = (~convictions[:, :, malicious]).any(axis=2).mean(axis=1)
+    else:
+        fn = np.zeros(n_checkpoints)
+    return FpFnCurve(
+        checkpoints=list(checkpoints),
+        fp_rates=[float(x) for x in fp],
+        fn_rates=[float(x) for x in fn],
+        runs=runs,
+    )

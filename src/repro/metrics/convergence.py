@@ -1,0 +1,66 @@
+"""Converged-condition detection.
+
+§7's *converged condition*: the observed drop-rate estimates are close
+enough to their true values that false positives/negatives stay below the
+allowed ``sigma``. Two operational views:
+
+* population view (Figure 2 / Table 2 "bound" comparison):
+  :func:`convergence_point` finds the first checkpoint where a
+  :class:`~repro.metrics.confusion.FpFnCurve` has both rates ≤ sigma;
+* per-run view (Table 2 "average"): :func:`first_exact_round` finds, for
+  one run's conviction history, the first checkpoint from which the
+  verdict is exactly the ground truth and stays that way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.confusion import FpFnCurve
+
+
+def convergence_point(curve: FpFnCurve, sigma: float) -> Optional[int]:
+    """First checkpoint where FP and FN rates are (and remain) ≤ sigma."""
+    if not 0.0 < sigma < 1.0:
+        raise ConfigurationError("sigma must be in (0, 1)")
+    return curve.convergence_packets(sigma)
+
+
+def first_exact_round(
+    checkpoints: Sequence[int],
+    convictions: np.ndarray,
+    malicious_links: Sequence[int],
+) -> np.ndarray:
+    """Per-run first checkpoint with a stable, exact verdict.
+
+    Parameters
+    ----------
+    convictions:
+        Boolean tensor ``(checkpoints, runs, links)``.
+
+    Returns
+    -------
+    Array of shape ``(runs,)``: the packet count at which each run first
+    reached (and kept) the exact ground-truth verdict; ``-1`` for runs
+    that never converged within the horizon.
+    """
+    convictions = np.asarray(convictions, dtype=bool)
+    if convictions.ndim != 3:
+        raise ConfigurationError("convictions must be (checkpoints, runs, links)")
+    n_checkpoints, runs, links = convictions.shape
+    truth = np.zeros(links, dtype=bool)
+    for index in malicious_links:
+        truth[index] = True
+    exact = (convictions == truth[None, None, :]).all(axis=2)  # (cp, runs)
+    # stable_from[c] = exact at every checkpoint >= c
+    stable = np.flip(np.logical_and.accumulate(np.flip(exact, axis=0), axis=0), axis=0)
+    result = np.full(runs, -1, dtype=np.int64)
+    checkpoint_array = np.asarray(list(checkpoints))
+    for run in range(runs):
+        hits = np.nonzero(stable[:, run])[0]
+        if hits.size:
+            result[run] = checkpoint_array[hits[0]]
+    return result

@@ -1,0 +1,78 @@
+"""Storage-occupancy recording (Figure 3's metric).
+
+A :class:`StorageRecorder` attaches to a node's :class:`PacketStore` as
+its observer and records the occupancy step function over simulated time.
+The Figure 3 experiments resample it onto a regular grid to plot "packets
+stored at any given time".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class StorageRecorder:
+    """Records a packet store's occupancy over time."""
+
+    def __init__(self) -> None:
+        #: (time, size) change points, in time order.
+        self.events: List[Tuple[float, int]] = []
+
+    def __call__(self, time: float, size: int) -> None:
+        self.events.append((time, size))
+
+    def attach(self, node) -> "StorageRecorder":
+        """Install on a node's packet store; returns self for chaining."""
+        node.store.set_observer(self)
+        return self
+
+    @property
+    def peak(self) -> int:
+        """Maximum observed occupancy."""
+        return max((size for _, size in self.events), default=0)
+
+    def occupancy_at(self, time: float) -> int:
+        """Occupancy at an arbitrary time (step-function semantics)."""
+        current = 0
+        for event_time, size in self.events:
+            if event_time > time:
+                break
+            current = size
+        return current
+
+    def resample(self, start: float, end: float, step: float) -> List[Tuple[float, int]]:
+        """Occupancy sampled on a regular grid (for plotting/series)."""
+        if step <= 0 or end < start:
+            raise ConfigurationError("need step > 0 and end >= start")
+        samples = []
+        index = 0
+        current = 0
+        time = start
+        while time <= end + 1e-12:
+            while index < len(self.events) and self.events[index][0] <= time:
+                current = self.events[index][1]
+                index += 1
+            samples.append((time, current))
+            time += step
+        return samples
+
+    def mean_occupancy(self, start: float, end: float) -> float:
+        """Time-averaged occupancy over ``[start, end]``."""
+        if end <= start:
+            raise ConfigurationError("need end > start")
+        total = 0.0
+        current = 0
+        cursor = start
+        for event_time, size in self.events:
+            if event_time <= start:
+                current = size  # establish the level entering the window
+                continue
+            if event_time >= end:
+                break
+            total += current * (event_time - cursor)
+            cursor = event_time
+            current = size
+        total += current * (end - cursor)
+        return total / (end - start)

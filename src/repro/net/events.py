@@ -1,0 +1,80 @@
+"""Event queue for the discrete-event engine.
+
+A classic binary-heap future event list. Events scheduled for the same
+instant fire in insertion order (a monotone sequence number breaks ties),
+which keeps runs deterministic — essential for reproducing packet-level
+traces from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.exceptions import SchedulingError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`; supports cancel()."""
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already fired."""
+        self._entry.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+
+class EventQueue:
+    """Time-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def schedule(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Enqueue ``action`` to fire at absolute ``time``."""
+        if time < 0:
+            raise SchedulingError(f"cannot schedule at negative time {time}")
+        entry = _Entry(time=time, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def pop(self) -> Optional[Tuple[float, Callable[[], None]]]:
+        """Remove and return the next live ``(time, action)``, or None."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.cancelled:
+                return entry.time, entry.action
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it, or None."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,112 @@
+"""Lossy, delaying links.
+
+A :class:`Link` joins adjacent path nodes ``F_i`` and ``F_{i+1}``. Each
+traversal independently draws (a) a loss decision from the link's loss
+model for that direction and (b) a propagation delay from the latency
+model, matching §8.1's simulation setup. Delivery is an engine event, so
+in-flight packets are naturally interleaved with timers.
+
+Links are FIFO per direction: a packet sent after another on the same link
+and direction never overtakes it (its arrival is clamped to the earlier
+packet's arrival time). Real links do not reorder a flow, and the PAAI
+protocols implicitly rely on this — a probe sent right after its data
+packet must reach each node after the data packet did.
+
+Links model only *natural* loss; adversarial drops happen at nodes (the
+paper emulates a compromised node that drops traffic flowing through it).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel
+from repro.net.packets import Direction, Packet
+from repro.net.stats import LinkStats
+
+
+class Link:
+    """One bidirectional link ``l_index`` between ``F_index`` and
+    ``F_index+1``.
+
+    Parameters
+    ----------
+    index:
+        Link position on the path (0-based; ``l_i`` in the paper).
+    simulator:
+        The engine (provides ``now`` and event scheduling).
+    loss_models:
+        Per-direction loss models. Separate instances per direction keep
+        stateful models (Gilbert-Elliott) independent.
+    latency_model:
+        Shared latency model (stateless).
+    rng:
+        Random stream dedicated to this link.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        simulator,
+        loss_models: Dict[Direction, LossModel],
+        latency_model: LatencyModel,
+        rng: random.Random,
+    ) -> None:
+        if set(loss_models) != {Direction.FORWARD, Direction.REVERSE}:
+            raise ConfigurationError("loss_models must cover both directions")
+        self.index = index
+        self._simulator = simulator
+        self._loss = loss_models
+        self._latency = latency_model
+        self._rng = rng
+        self.stats = LinkStats()
+        self._last_arrival: Dict[Direction, float] = {
+            Direction.FORWARD: 0.0,
+            Direction.REVERSE: 0.0,
+        }
+        self._receivers: Dict[Direction, Optional[Callable[[Packet, Direction], None]]] = {
+            Direction.FORWARD: None,
+            Direction.REVERSE: None,
+        }
+
+    def connect(
+        self,
+        forward_receiver: Callable[[Packet, Direction], None],
+        reverse_receiver: Callable[[Packet, Direction], None],
+    ) -> None:
+        """Attach endpoint delivery callbacks.
+
+        ``forward_receiver`` is the downstream node (receives packets
+        traveling FORWARD); ``reverse_receiver`` the upstream node.
+        """
+        self._receivers[Direction.FORWARD] = forward_receiver
+        self._receivers[Direction.REVERSE] = reverse_receiver
+
+    def transmit(self, packet: Packet, direction: Direction) -> bool:
+        """Send ``packet`` across the link.
+
+        Returns True when the packet will be delivered (an event has been
+        scheduled), False when natural loss consumed it. The return value
+        exists for tracing; protocol code must not branch on it — real
+        nodes cannot observe downstream loss.
+        """
+        receiver = self._receivers[direction]
+        if receiver is None:
+            raise ConfigurationError(f"link {self.index} has no {direction} receiver")
+        self.stats.record_transmission(packet, direction)
+        if self._loss[direction].is_lost(self._rng):
+            self.stats.record_natural_loss(packet, direction)
+            return False
+        arrival = self._simulator.now + self._latency.delay(self._rng)
+        # FIFO per direction: never overtake the previous packet.
+        arrival = max(arrival, self._last_arrival[direction])
+        self._last_arrival[direction] = arrival
+        self._simulator.schedule_at(arrival, lambda: receiver(packet, direction))
+        return True
+
+    @property
+    def max_one_way_latency(self) -> float:
+        return self._latency.maximum

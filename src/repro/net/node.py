@@ -1,0 +1,167 @@
+"""Node runtime: packet store, timers, and guarded forwarding.
+
+A :class:`Node` is one hop ``F_i`` on the monitored path. Protocol agents
+subclass it and implement :meth:`Node.on_packet`. The base class provides:
+
+* a :class:`PacketStore` holding per-packet state (identifier ``H(m)``,
+  wait-timer handles, stored ack copies). Its occupancy *is* the storage
+  overhead metric of §7.4/Figure 3, so the store reports every size change
+  to an optional observer;
+* timers backed by the engine's event queue;
+* ``send_forward``/``send_backward`` egress helpers that consult the node's
+  adversary strategy — a compromised node drops/alters traffic at egress,
+  so its dropping manifests on its *adjacent links*, exactly the paper's
+  observation that AAI protocols identify links, not nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import ProtocolError, SimulationError
+from repro.net.clock import NodeClock
+from repro.net.packets import Direction, Packet
+
+
+class PacketStore:
+    """Keyed per-packet state with occupancy tracking.
+
+    Parameters
+    ----------
+    observer:
+        Optional callable ``(time, size)`` invoked after every size change;
+        the storage-overhead experiments plug a recorder in here.
+    """
+
+    def __init__(self, observer: Optional[Callable[[float, int], None]] = None) -> None:
+        self._entries: Dict[bytes, Dict[str, Any]] = {}
+        self._observer = observer
+        self.peak = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, identifier: bytes) -> bool:
+        return identifier in self._entries
+
+    def set_observer(self, observer: Callable[[float, int], None]) -> None:
+        self._observer = observer
+
+    def add(self, identifier: bytes, now: float, **state: Any) -> Dict[str, Any]:
+        """Insert (or replace) the entry for ``identifier``."""
+        entry = dict(state)
+        entry["stored_at"] = now
+        self._entries[identifier] = entry
+        self._notify(now)
+        return entry
+
+    def get(self, identifier: bytes) -> Optional[Dict[str, Any]]:
+        return self._entries.get(identifier)
+
+    def pop(self, identifier: bytes, now: float) -> Optional[Dict[str, Any]]:
+        entry = self._entries.pop(identifier, None)
+        if entry is not None:
+            self._notify(now)
+        return entry
+
+    def clear(self, now: float) -> None:
+        if self._entries:
+            self._entries.clear()
+            self._notify(now)
+
+    def _notify(self, now: float) -> None:
+        size = len(self._entries)
+        if size > self.peak:
+            self.peak = size
+        if self._observer is not None:
+            self._observer(now, size)
+
+
+class Node:
+    """Base class for path nodes ``F_0 .. F_d``.
+
+    Subclasses implement :meth:`on_packet`. Wiring (links, clock, stats) is
+    performed by :class:`repro.net.path.Path`; a node is unusable until
+    attached.
+    """
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+        self.store = PacketStore()
+        #: Adversary strategy controlling this node, or None when honest.
+        self.adversary = None
+        self.clock: Optional[NodeClock] = None
+        self._uplink = None  # link l_{i-1}, toward the source
+        self._downlink = None  # link l_i, toward the destination
+        self._path = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, path, clock: NodeClock, uplink, downlink) -> None:
+        """Called by Path to wire this node in."""
+        self._path = path
+        self.clock = clock
+        self._uplink = uplink
+        self._downlink = downlink
+
+    @property
+    def path(self):
+        if self._path is None:
+            raise SimulationError(f"node {self.position} is not attached to a path")
+        return self._path
+
+    @property
+    def now(self) -> float:
+        """This node's local (possibly skewed) time."""
+        if self.clock is None:
+            raise SimulationError(f"node {self.position} is not attached to a path")
+        return self.clock.now
+
+    # -- traffic ---------------------------------------------------------
+
+    def on_packet(self, packet: Packet, direction: Direction) -> None:
+        """Protocol logic: handle a packet delivered to this node."""
+        raise NotImplementedError
+
+    def deliver(self, packet: Packet, direction: Direction) -> None:
+        """Ingress from a link (engine callback)."""
+        if self.adversary is not None:
+            processed = self.adversary.process_ingress(self, packet, direction)
+            if processed is None:
+                self.path.stats.node_drop_stats(self.position).record(
+                    packet, direction
+                )
+                return
+            packet = processed
+        self.on_packet(packet, direction)
+
+    def send_forward(self, packet: Packet) -> None:
+        """Egress toward the destination on link ``l_position``."""
+        if self._downlink is None:
+            raise ProtocolError(
+                f"node {self.position} has no downstream link (destination?)"
+            )
+        self._egress(packet, self._downlink, Direction.FORWARD)
+
+    def send_backward(self, packet: Packet) -> None:
+        """Egress toward the source on link ``l_{position-1}``."""
+        if self._uplink is None:
+            raise ProtocolError(f"node {self.position} has no upstream link (source?)")
+        self._egress(packet, self._uplink, Direction.REVERSE)
+
+    def _egress(self, packet: Packet, link, direction: Direction) -> None:
+        if self.adversary is not None:
+            processed = self.adversary.process(self, packet, direction)
+            if processed is None:
+                self.path.stats.node_drop_stats(self.position).record(
+                    packet, direction
+                )
+                return
+            packet = processed
+        link.transmit(packet, direction)
+
+    # -- timers ----------------------------------------------------------
+
+    def set_timer(self, delay: float, action: Callable[[], None]):
+        """Schedule ``action`` after ``delay`` seconds of engine time."""
+        return self.path.schedule_in(delay, action)

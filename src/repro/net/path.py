@@ -1,0 +1,211 @@
+"""The linear path topology of Figure 1.
+
+``Path`` builds links ``l_0 .. l_{d-1}`` over a :class:`Simulator`, wires
+attached protocol nodes ``F_0 .. F_d`` to them, and exposes the round-trip
+quantities (``r_i``) that the protocols use to size their wait-timers.
+
+The topology is deliberately a single path: the paper (following the AAI
+literature) analyzes one source-destination pair at a time, with the
+routing infrastructure assumed to pin the path for the duration of the
+monitoring period.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.constants import DEFAULT_MAX_LINK_LATENCY
+from repro.exceptions import ConfigurationError
+from repro.net.clock import NodeClock
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.link import Link
+from repro.net.loss import BernoulliLoss, LossModel
+from repro.net.node import Node
+from repro.net.packets import Direction
+from repro.net.simulator import Simulator
+from repro.net.stats import PathStats
+
+LossFactory = Callable[[int, Direction], LossModel]
+
+
+class Path:
+    """A forwarding path of length ``d`` (``d`` links, ``d+1`` nodes).
+
+    Parameters
+    ----------
+    simulator:
+        The engine this path schedules on.
+    length:
+        Path length ``d`` in hops.
+    natural_loss:
+        Either a single per-link natural loss rate, a sequence of ``d``
+        rates, or a :data:`LossFactory` for custom models.
+    max_latency:
+        Per-direction, per-link maximum latency; each traversal draws
+        uniform in ``[0, max_latency]`` (the paper's model). Pass a
+        :class:`LatencyModel` for custom behavior.
+    clock_skews:
+        Optional per-node clock offsets (``d+1`` values) modeling loose
+        synchronization; defaults to perfectly synchronized clocks.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        length: int,
+        natural_loss: Union[float, Sequence[float], LossFactory] = 0.0,
+        max_latency: Union[float, LatencyModel] = DEFAULT_MAX_LINK_LATENCY,
+        clock_skews: Optional[Sequence[float]] = None,
+    ) -> None:
+        if length <= 0:
+            raise ConfigurationError(f"path length must be positive, got {length}")
+        self.simulator = simulator
+        self.length = length
+        self.stats = PathStats(length)
+        self.nodes: List[Node] = []
+
+        loss_factory = _as_loss_factory(natural_loss, length)
+        latency = (
+            max_latency
+            if isinstance(max_latency, LatencyModel)
+            else UniformLatency(high=float(max_latency))
+        )
+        self._latency = latency
+
+        self.links: List[Link] = [
+            Link(
+                index=i,
+                simulator=simulator,
+                loss_models={
+                    Direction.FORWARD: loss_factory(i, Direction.FORWARD),
+                    Direction.REVERSE: loss_factory(i, Direction.REVERSE),
+                },
+                latency_model=latency,
+                rng=simulator.rng.stream(f"link-{i}"),
+            )
+            for i in range(length)
+        ]
+
+        if clock_skews is None:
+            clock_skews = [0.0] * (length + 1)
+        if len(clock_skews) != length + 1:
+            raise ConfigurationError(
+                f"need {length + 1} clock skews, got {len(clock_skews)}"
+            )
+        self._clock_skews = list(clock_skews)
+
+    # -- node attachment --------------------------------------------------
+
+    def attach_nodes(self, nodes: Sequence[Node]) -> None:
+        """Wire protocol nodes ``F_0 .. F_d`` into the path."""
+        if len(nodes) != self.length + 1:
+            raise ConfigurationError(
+                f"need {self.length + 1} nodes, got {len(nodes)}"
+            )
+        for position, node in enumerate(nodes):
+            if node.position != position:
+                raise ConfigurationError(
+                    f"node at slot {position} reports position {node.position}"
+                )
+            uplink = self.links[position - 1] if position > 0 else None
+            downlink = self.links[position] if position < self.length else None
+            clock = NodeClock(self.simulator.clock, self._clock_skews[position])
+            node.attach(self, clock, uplink, downlink)
+        for index, link in enumerate(self.links):
+            link.connect(
+                forward_receiver=nodes[index + 1].deliver,
+                reverse_receiver=nodes[index].deliver,
+            )
+        self.nodes = list(nodes)
+
+    # -- timing -----------------------------------------------------------
+
+    def schedule_in(self, delay: float, action) -> object:
+        return self.simulator.schedule_in(delay, action)
+
+    @property
+    def max_link_latency(self) -> float:
+        return self._latency.maximum
+
+    def rtt_bound(self, position: int) -> float:
+        """Worst-case round-trip time ``r_i`` from ``F_position`` to D.
+
+        ``r_i = 2 * (d - i) * max_latency``; protocols size their
+        wait-timers with these bounds, and the §7.4 storage bounds follow
+        from them.
+        """
+        if not 0 <= position <= self.length:
+            raise ConfigurationError(f"position {position} off path")
+        return 2.0 * (self.length - position) * self._latency.maximum
+
+    @property
+    def r0(self) -> float:
+        """Worst-case source round-trip time ``r_0``."""
+        return self.rtt_bound(0)
+
+    def describe(self, malicious_nodes: Optional[Sequence[int]] = None) -> str:
+        """ASCII rendering of the Figure 1 topology.
+
+        Malicious node positions are bracketed and starred::
+
+            S ──l0── F1 ──l1── [F2*] ──l2── D
+        """
+        flagged = set(malicious_nodes or ())
+        parts = ["S"]
+        for position in range(1, self.length):
+            name = f"F{position}"
+            if position in flagged:
+                name = f"[{name}*]"
+            parts.append(f"──l{position - 1}── {name}")
+        parts.append(f"──l{self.length - 1}── D")
+        return " ".join(parts)
+
+    # -- ground truth -----------------------------------------------------
+
+    def wire_overhead_ratio(self) -> float:
+        """Protocol (non-data) bytes per data byte, summed over all links.
+
+        This is the on-the-wire view of Table 1's communication-overhead
+        column: every traversal of every link is weighed by packet size.
+        """
+        from repro.net.packets import PacketKind
+
+        data_bytes = 0
+        other_bytes = 0
+        for link in self.links:
+            for kind, size in link.stats.bytes_sent.items():
+                if kind is PacketKind.DATA:
+                    data_bytes += size
+                else:
+                    other_bytes += size
+        if data_bytes == 0:
+            return 0.0
+        return other_bytes / data_bytes
+
+    def true_link_rates(self) -> List[float]:
+        """Configured average natural loss per link (forward direction)."""
+        return [
+            self.links[i]._loss[Direction.FORWARD].average_rate
+            for i in range(self.length)
+        ]
+
+
+def _as_loss_factory(
+    spec: Union[float, Sequence[float], LossFactory], length: int
+) -> LossFactory:
+    """Normalize the ``natural_loss`` argument to a factory."""
+    if callable(spec):
+        return spec
+    if isinstance(spec, (int, float)):
+        rates = [float(spec)] * length
+    else:
+        rates = [float(rate) for rate in spec]
+        if len(rates) != length:
+            raise ConfigurationError(
+                f"need {length} per-link loss rates, got {len(rates)}"
+            )
+
+    def factory(index: int, direction: Direction) -> LossModel:
+        return BernoulliLoss(rates[index])
+
+    return factory

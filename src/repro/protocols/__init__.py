@@ -1,0 +1,40 @@
+"""The AAI protocol family.
+
+One module per protocol, each with wire-level agents running on the
+discrete-event substrate:
+
+* :mod:`repro.protocols.fullack` — the strawman full-ack scheme (§4);
+* :mod:`repro.protocols.paai1` — PAAI-1, probabilistic packet sampling
+  with onion reports (§6.1), the paper's recommended protocol;
+* :mod:`repro.protocols.paai2` — PAAI-2, oblivious single-node selection
+  (§6.2);
+* :mod:`repro.protocols.statfl` — the statistical fault-localization
+  baseline of Barak, Goldberg & Xiao (EUROCRYPT 2008), the paper's main
+  comparison point;
+* :mod:`repro.protocols.combo1` / :mod:`repro.protocols.combo2` — the two
+  §10 combinations;
+* :mod:`repro.protocols.models` — closed-form per-packet outcome
+  distributions used by the fast Monte-Carlo engine;
+* :mod:`repro.protocols.registry` — name-based protocol lookup.
+"""
+
+from repro.protocols.base import WireProtocol
+from repro.protocols.combo1 import Combination1Protocol
+from repro.protocols.combo2 import Combination2Protocol
+from repro.protocols.fullack import FullAckProtocol
+from repro.protocols.paai1 import Paai1Protocol
+from repro.protocols.paai2 import Paai2Protocol
+from repro.protocols.registry import available_protocols, make_protocol
+from repro.protocols.statfl import StatisticalFLProtocol
+
+__all__ = [
+    "WireProtocol",
+    "FullAckProtocol",
+    "Paai1Protocol",
+    "Paai2Protocol",
+    "StatisticalFLProtocol",
+    "Combination1Protocol",
+    "Combination2Protocol",
+    "available_protocols",
+    "make_protocol",
+]

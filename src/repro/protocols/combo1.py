@@ -1,0 +1,154 @@
+"""§10 Combination 1: every node acknowledges a selected fraction of *lost*
+data packets.
+
+PAAI-1's sampling key is replaced by the key shared with the destination
+(``K_d``-derived), so D can independently tell which packets are sampled
+and proactively ack them. The source then probes only for *sampled packets
+whose e2e ack never arrived* — cutting communication to ``O(p (1 + ψ d))``
+— while the detection rate matches PAAI-1 (one observation per sampled
+packet either way). The cost is storage: nodes cannot tell sampled
+packets apart, and a probe may now arrive a full extra ``r_0`` later (the
+source's ack wait), so every node holds state correspondingly longer
+(Table 1's ``O(r_0 (0.5 + 2p) ν)`` row).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.estimators import DirectEstimator
+from repro.core.monitor import EndToEndMonitor
+from repro.crypto.keys import derive_key
+from repro.crypto.mac import verify_mac
+from repro.crypto.onion import OnionVerifier
+from repro.crypto.sampling import SecureSampler
+from repro.net.packets import AckPacket, DataPacket, Direction, Packet
+from repro.protocols.base import (
+    SourceAgent,
+    WireProtocol,
+    is_e2e_ack,
+    is_report_ack,
+)
+from repro.protocols.onion_common import (
+    OnionDestination,
+    OnionForwarder,
+    build_probe,
+    effective_onion_depth,
+)
+
+#: Role label for the sampling key derived from the S-D pairwise key.
+SAMPLING_ROLE = "combo-sampling"
+
+
+class Combo1Source(SourceAgent):
+    """Source agent for Combination 1."""
+
+    def __init__(self, protocol: "Combination1Protocol") -> None:
+        super().__init__(protocol)
+        d = self.params.path_length
+        self.verifier = OnionVerifier(self.keys.all_mac_keys())
+        self.monitor = EndToEndMonitor(self.params.psi_threshold)
+        # Sampling key derived from the pairwise key with D: both ends can
+        # evaluate it, nobody else can.
+        self.sampler = SecureSampler(
+            derive_key(self.keys.master_key(d), SAMPLING_ROLE),
+            self.params.probe_frequency,
+        )
+        self._dest_mac_key = self.keys.mac_key(d)
+        self._estimator = DirectEstimator(self.board)
+
+    # -- sending --------------------------------------------------------------
+
+    def _after_send(self, packet: DataPacket) -> None:
+        if not self.sampler.is_sampled(packet.identifier):
+            return
+        identifier = packet.identifier
+        self.monitor.record_sent()
+        self.pending[identifier] = {
+            "sequence": packet.sequence,
+            "probed": False,
+            "handle": self.timer_with_slack(
+                self.params.r0, lambda: self._on_ack_timeout(identifier)
+            ),
+        }
+
+    # -- receiving --------------------------------------------------------------
+
+    def on_packet(self, packet: Packet, direction: Direction) -> None:
+        if is_e2e_ack(packet, direction):
+            self._on_e2e_ack(packet)
+        elif is_report_ack(packet, direction):
+            self._on_report(packet)
+
+    def _on_e2e_ack(self, ack: AckPacket) -> None:
+        entry = self.pending.get(ack.identifier)
+        if entry is None or entry["probed"]:
+            return
+        if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
+            return
+        entry["handle"].cancel()
+        self.pending.pop(ack.identifier)
+        self.monitor.record_acknowledged()
+        self.board.record_round()  # sampled, delivered, no blame
+
+    def _on_ack_timeout(self, identifier: bytes) -> None:
+        entry = self.pending.get(identifier)
+        if entry is None:
+            return
+        entry["probed"] = True
+        probe = build_probe(self.protocol, identifier, entry["sequence"])
+        self.path.stats.record_overhead(probe)
+        self.send_forward(probe)
+        entry["handle"] = self.timer_with_slack(
+            self.params.r0, lambda: self._on_report_timeout(identifier)
+        )
+
+    def _on_report(self, ack: AckPacket) -> None:
+        entry = self.pending.get(ack.identifier)
+        if entry is None or not entry["probed"]:
+            return
+        entry["handle"].cancel()
+        self.pending.pop(ack.identifier)
+        depth = effective_onion_depth(self.verifier, ack.report, ack.identifier)
+        if depth < self.params.path_length:
+            self.board.add(depth)
+        self.board.record_round()
+
+    def _on_report_timeout(self, identifier: bytes) -> None:
+        entry = self.pending.pop(identifier, None)
+        if entry is None:
+            return
+        self.board.add(0)
+        self.board.record_round()
+
+    # -- verdicts --------------------------------------------------------------
+
+    def estimates(self) -> List[float]:
+        return self._estimator.estimates()
+
+
+class Combination1Protocol(WireProtocol):
+    """Wire instance of §10's Combination 1."""
+
+    name = "combo1"
+
+    def _build_nodes(self):
+        params = self.params
+        source = Combo1Source(self)
+        # Nodes hold every packet: r0/2 base window plus the extra r0 the
+        # source spends waiting for D's ack before probing.
+        hold = params.r0 / 2.0 + params.r0
+        forwarders = [
+            OnionForwarder(self, position, hold=hold, e2e_policy="keep")
+            for position in range(1, params.path_length)
+        ]
+        dest_sampler = SecureSampler(
+            derive_key(self.keys.master_key(params.path_length), SAMPLING_ROLE),
+            params.probe_frequency,
+        )
+        destination = OnionDestination(
+            self,
+            hold=hold,
+            ack_predicate=lambda packet: dest_sampler.is_sampled(packet.identifier),
+        )
+        return [source, *forwarders, destination]

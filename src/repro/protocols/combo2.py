@@ -1,0 +1,94 @@
+"""§10 Combination 2: one selected node acknowledges a selected fraction of
+data packets.
+
+PAAI-2's machinery with Combination 1's destination-keyed sampling: D
+independently acks sampled packets; the source probes (with a PAAI-2
+challenge, selection, and oblivious reports) only for sampled packets
+whose ack is missing. Communication drops to ``O(p)`` per data packet —
+the lowest of the family — at the price of PAAI-2's already-slow detection
+degraded by a further ``1/p`` (Table 1's Combination 2 row).
+
+Implementation-wise this is PAAI-2 with (a) the source monitoring only
+sampled packets and (b) the destination acking only sampled packets;
+forwarders are unchanged (they cannot tell sampled packets apart and hold
+state for every packet).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import derive_key
+from repro.crypto.mac import mac
+from repro.crypto.sampling import SecureSampler
+from repro.net.packets import AckPacket, DataPacket
+from repro.protocols.combo1 import SAMPLING_ROLE
+from repro.protocols.paai2 import (
+    Paai2Destination,
+    Paai2Forwarder,
+    Paai2Source,
+)
+from repro.protocols.base import WireProtocol
+
+
+class Combo2Source(Paai2Source):
+    """PAAI-2 source that only monitors sampled packets."""
+
+    def __init__(self, protocol: "Combination2Protocol") -> None:
+        super().__init__(protocol)
+        self.sampler = SecureSampler(
+            derive_key(self.keys.master_key(self.params.path_length), SAMPLING_ROLE),
+            self.params.probe_frequency,
+        )
+
+    def _after_send(self, packet: DataPacket) -> None:
+        if not self.sampler.is_sampled(packet.identifier):
+            return
+        super()._after_send(packet)
+
+
+class Combo2Destination(Paai2Destination):
+    """PAAI-2 destination that only acks sampled packets."""
+
+    def __init__(self, protocol: "Combination2Protocol") -> None:
+        super().__init__(protocol)
+        self._sampler = SecureSampler(
+            derive_key(
+                protocol.keys.master_key(protocol.params.path_length), SAMPLING_ROLE
+            ),
+            protocol.params.probe_frequency,
+        )
+
+    def _on_data(self, packet: DataPacket) -> None:
+        if not self.is_fresh(packet):
+            return
+        identifier = packet.identifier
+        tag = mac(self.mac_key, identifier)
+        entry = self.store.add(identifier, self.now, dest_ack=tag)
+        entry["hold_handle"] = self.timer_with_slack(
+            self._hold, lambda: self._expire_hold(identifier)
+        )
+        self.path.stats.record_data_delivered()
+        if self._sampler.is_sampled(identifier):
+            self.send_backward(
+                AckPacket.create(
+                    identifier, report=tag, origin=self.position,
+                    sequence=packet.sequence, is_report=False,
+                )
+            )
+
+
+class Combination2Protocol(WireProtocol):
+    """Wire instance of §10's Combination 2."""
+
+    name = "combo2"
+    confidence_variance_scale = staticmethod(
+        lambda params: 2.0 * params.path_length
+    )
+
+    def _build_nodes(self):
+        source = Combo2Source(self)
+        forwarders = [
+            Paai2Forwarder(self, position)
+            for position in range(1, self.params.path_length)
+        ]
+        destination = Combo2Destination(self)
+        return [source, *forwarders, destination]

@@ -1,0 +1,58 @@
+"""Name-based protocol lookup.
+
+The experiment harness, CLI, and benches refer to protocols by the names
+used in the paper's tables: ``full-ack``, ``paai1``, ``paai2``,
+``statfl``, ``combo1``, ``combo2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import WireProtocol
+
+
+def _registry() -> Dict[str, Type[WireProtocol]]:
+    # Imported lazily to avoid circular imports at package init.
+    from repro.protocols.combo1 import Combination1Protocol
+    from repro.protocols.combo2 import Combination2Protocol
+    from repro.protocols.fullack import FullAckProtocol
+    from repro.protocols.paai1 import Paai1Protocol
+    from repro.protocols.paai2 import Paai2Protocol
+    from repro.protocols.sigack import SigAckProtocol
+    from repro.protocols.statfl import StatisticalFLProtocol
+
+    return {
+        cls.name: cls
+        for cls in (
+            FullAckProtocol,
+            Paai1Protocol,
+            Paai2Protocol,
+            StatisticalFLProtocol,
+            Combination1Protocol,
+            Combination2Protocol,
+            SigAckProtocol,
+        )
+    }
+
+
+def available_protocols() -> List[str]:
+    """Names of all registered protocols, in the paper's table order."""
+    return list(_registry())
+
+
+def protocol_class(name: str) -> Type[WireProtocol]:
+    """Look up a protocol class by its registry name."""
+    registry = _registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(registry)}"
+        ) from None
+
+
+def make_protocol(name: str, simulator, params, **kwargs) -> WireProtocol:
+    """Instantiate a protocol by name."""
+    return protocol_class(name)(simulator, params, **kwargs)

@@ -1,0 +1,11 @@
+"""Workloads and canonical evaluation scenarios."""
+
+from repro.workloads.scenarios import Scenario, paper_scenario
+from repro.workloads.traffic import ConstantRateTraffic, PoissonTraffic
+
+__all__ = [
+    "Scenario",
+    "paper_scenario",
+    "ConstantRateTraffic",
+    "PoissonTraffic",
+]

@@ -1,0 +1,144 @@
+"""Canonical evaluation scenarios (§8.1).
+
+The paper's running configuration: a d=6 path, natural per-link loss
+ρ=0.01, threshold α=0.03, σ=0.03, p=1/d², node F4 compromised with drop
+rate 0.02 — chosen so the target link l4 shows a total drop rate of about
+α. Per §8.1's tactics (a)+(b), the malicious node drops data packets and
+probes at egress and end-to-end acks at *ingress* (keeping its protocol
+state so it still answers ack requests "as if functioning correctly"),
+while handling report acks honestly — the configuration under which all
+of its malicious activity lands on its *downstream* adjacent link l4
+(:class:`repro.adversary.paper.PaperTacticAdversary`). A fully-uniform
+bidirectional egress dropper is available for ablations (its reverse-path
+drops land on l3 — still adjacent to F4, as Theorem 1 requires, but no
+longer matched by the closed-form outcome models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.adversary.base import AdversaryStrategy
+from repro.adversary.paper import PaperTacticAdversary
+from repro.adversary.uniform import UniformDropper
+from repro.constants import (
+    DEFAULT_MALICIOUS_NODE,
+    DEFAULT_MALICIOUS_NODE_DROP,
+)
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.protocols.registry import make_protocol
+
+
+@dataclass
+class Scenario:
+    """A reproducible evaluation setup: parameters + adversary placement.
+
+    Attributes
+    ----------
+    params:
+        Protocol parameters.
+    malicious_nodes:
+        Mapping ``position -> node drop rate``; each listed node drops
+        forward traffic at the given rate (bidirectional=False) or all
+        traffic (bidirectional=True).
+    bidirectional:
+        Whether malicious nodes also drop reverse-path traffic.
+    """
+
+    params: ProtocolParams = field(default_factory=ProtocolParams)
+    malicious_nodes: Dict[int, float] = field(default_factory=dict)
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        for position, rate in self.malicious_nodes.items():
+            if not 0 < position < self.params.path_length:
+                raise ConfigurationError(
+                    f"malicious node {position} must be intermediate"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"invalid node drop rate {rate}")
+
+    # -- ground truth ---------------------------------------------------------
+
+    @property
+    def malicious_links(self) -> List[int]:
+        """Links the protocols should convict: ``l_i`` for malicious ``F_i``
+        (forward-direction drops land on the downstream adjacent link)."""
+        return sorted(self.malicious_nodes)
+
+    def forward_link_rates(self) -> List[float]:
+        """Per-crossing forward drop rate of each link (data and probes):
+        natural loss combined with the egress node's malicious rate."""
+        rho = self.params.natural_loss
+        rates = []
+        for link in range(self.params.path_length):
+            beta = self.malicious_nodes.get(link, 0.0)
+            rates.append(1.0 - (1.0 - rho) * (1.0 - beta))
+        return rates
+
+    def reverse_ack_rates(self) -> List[float]:
+        """Per-crossing reverse drop rate for *end-to-end acks*.
+
+        The paper-tactic adversary swallows acks at ingress of ``F_i``,
+        which is observationally a loss on ``l_i``'s reverse crossing.
+        """
+        rho = self.params.natural_loss
+        rates = []
+        for link in range(self.params.path_length):
+            beta = self.malicious_nodes.get(link, 0.0)
+            rates.append(1.0 - (1.0 - rho) * (1.0 - beta))
+        return rates
+
+    def reverse_report_rates(self) -> List[float]:
+        """Per-crossing reverse drop rate for *report acks* — natural only
+        (tactic (b): the adversary answers ack requests honestly)."""
+        return [self.params.natural_loss] * self.params.path_length
+
+    def model_rates(self):
+        """The ``(f, b_ack, b_report)`` triple the outcome models take."""
+        return (
+            self.forward_link_rates(),
+            self.reverse_ack_rates(),
+            self.reverse_report_rates(),
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    def build_adversaries(self, simulator: Simulator) -> Dict[int, AdversaryStrategy]:
+        """Instantiate the adversary strategies for this scenario."""
+        adversaries: Dict[int, AdversaryStrategy] = {}
+        for position, rate in self.malicious_nodes.items():
+            rng = simulator.rng.stream(f"adversary-{position}")
+            if self.bidirectional:
+                adversaries[position] = UniformDropper(rate, rng)
+            else:
+                adversaries[position] = PaperTacticAdversary(rate, rng)
+        return adversaries
+
+    def build_protocol(self, name: str, simulator: Simulator, **kwargs):
+        """Instantiate a named protocol wired with this scenario's path and
+        adversaries."""
+        return make_protocol(
+            name,
+            simulator,
+            self.params,
+            adversaries=self.build_adversaries(simulator),
+            **kwargs,
+        )
+
+
+def paper_scenario(
+    params: Optional[ProtocolParams] = None,
+    malicious_node: int = DEFAULT_MALICIOUS_NODE,
+    node_drop_rate: float = DEFAULT_MALICIOUS_NODE_DROP,
+    bidirectional: bool = False,
+) -> Scenario:
+    """The §8.1 running scenario: d=6, ρ=0.01, F4 dropping at 0.02."""
+    return Scenario(
+        params=params if params is not None else ProtocolParams(),
+        malicious_nodes={malicious_node: node_drop_rate},
+        bidirectional=bidirectional,
+    )

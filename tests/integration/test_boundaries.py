@@ -1,0 +1,123 @@
+"""Boundary topologies: the shortest and longest paths the protocols must
+handle without special-casing."""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.net.simulator import Simulator
+from repro.protocols.registry import available_protocols, make_protocol
+
+WIRE_PROTOCOLS = [name for name in available_protocols() if name != "sig-ack"]
+
+
+class TestSingleHopPath:
+    """d=1: S connects directly to D — no forwarders at all."""
+
+    def params(self, **overrides):
+        defaults = dict(
+            path_length=1, natural_loss=0.0, alpha=0.03, probe_frequency=1.0
+        )
+        defaults.update(overrides)
+        return ProtocolParams(**defaults)
+
+    @pytest.mark.parametrize("name", WIRE_PROTOCOLS)
+    def test_lossless_single_hop(self, name):
+        simulator = Simulator(seed=1)
+        protocol = make_protocol(name, simulator, self.params())
+        protocol.run_traffic(count=100, rate=1000.0)
+        assert protocol.path.stats.data_delivered == 100
+        assert protocol.board.scores == [0]
+        assert protocol.identify().convicted == set()
+
+    @pytest.mark.parametrize("name", ["full-ack", "paai1", "paai2"])
+    def test_dead_single_link_blamed(self, name):
+        simulator = Simulator(seed=2)
+        protocol = make_protocol(
+            name, simulator, self.params(), natural_loss=[1.0]
+        )
+        protocol.run_traffic(count=80, rate=1000.0)
+        assert protocol.identify().convicted == {0}, protocol.estimates()
+
+    def test_paai2_selection_is_destination(self):
+        """With d=1 the only selectable node is D (T_1 fires w.p. 1)."""
+        from repro.crypto.sampling import selected_node
+
+        simulator = Simulator(seed=3)
+        protocol = make_protocol("paai2", simulator, self.params())
+        keys = protocol.keys.all_selection_keys()
+        for index in range(20):
+            assert selected_node(keys, bytes([index])) == 1
+
+
+class TestLongPath:
+    """d=20: four-segment sanity at scale (analysis + wire + models)."""
+
+    def params(self):
+        return ProtocolParams(
+            path_length=20, natural_loss=0.005, alpha=0.02,
+            probe_frequency=1.0 / 50,
+        )
+
+    def test_models_remain_distributions(self):
+        from repro.protocols import models
+
+        params = self.params()
+        rho = [0.005] * 20
+        for name in ("full-ack", "paai1", "paai2"):
+            model = models.build_model(name, rho, rho, rho, params)
+            assert model.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_calibrated_thresholds_ordered(self):
+        from repro.protocols import models
+
+        params = self.params()
+        thresholds = models.calibrated_thresholds("paai1", params)
+        natural = models.natural_estimates("paai1", params)
+        assert all(t > n for t, n in zip(thresholds, natural))
+
+    def test_wire_run_and_localization(self):
+        from repro.workloads.scenarios import Scenario
+
+        scenario = Scenario(
+            params=self.params(), malicious_nodes={13: 0.05}
+        )
+        simulator = Simulator(seed=4)
+        protocol = scenario.build_protocol("paai1", simulator)
+        protocol.run_traffic(count=8000, rate=4000.0)
+        estimates = protocol.estimates()
+        assert estimates.index(max(estimates)) == 13
+
+    def test_mc_engine_scales(self):
+        from repro.mc.detection import DetectionExperiment
+        from repro.workloads.scenarios import Scenario
+
+        scenario = Scenario(params=self.params(), malicious_nodes={13: 0.05})
+        result = DetectionExperiment(
+            "paai1", scenario, runs=300, horizon=50_000, seed=5
+        ).run()
+        assert result.curve.fn_rates[-1] < 0.2
+
+
+class TestExtremeRates:
+    def test_total_loss_everywhere(self):
+        """Every link dead: every round blames l0 and the verdict says so."""
+        params = ProtocolParams(
+            path_length=4, natural_loss=0.0, alpha=0.5, probe_frequency=1.0
+        )
+        simulator = Simulator(seed=6)
+        protocol = make_protocol(
+            "full-ack", simulator, params, natural_loss=[1.0, 1.0, 1.0, 1.0]
+        )
+        protocol.run_traffic(count=50, rate=1000.0)
+        assert protocol.board.scores[0] == protocol.board.rounds
+        assert protocol.identify().convicted == {0}
+
+    def test_very_high_natural_loss_still_consistent(self):
+        params = ProtocolParams(
+            path_length=3, natural_loss=0.3, alpha=0.6, probe_frequency=1.0
+        )
+        simulator = Simulator(seed=7)
+        protocol = make_protocol("paai1", simulator, params)
+        protocol.run_traffic(count=2000, rate=4000.0)
+        # No conviction without an adversary, even at brutal loss rates.
+        assert protocol.identify().convicted == set(), protocol.estimates()

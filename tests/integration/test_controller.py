@@ -1,0 +1,91 @@
+"""Tests for the closed-loop AAI controller: detect, convict, bypass,
+recover — without oracle knowledge of convergence times."""
+
+import pytest
+
+from repro.core.controller import AAIController, bypass_adversaries
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import paper_scenario
+
+
+class TestClosedLoop:
+    def test_detect_and_bypass(self):
+        scenario = paper_scenario(
+            params=ProtocolParams(probe_frequency=0.5), node_drop_rate=0.05
+        )
+        simulator = Simulator(seed=1)
+        adversaries = scenario.build_adversaries(simulator)
+        from repro.protocols.registry import make_protocol
+
+        protocol = make_protocol(
+            "paai1", simulator, scenario.params, adversaries=adversaries
+        )
+        controller = AAIController(
+            protocol, bypass_adversaries(adversaries), check_interval=0.25
+        )
+        controller.start()
+        protocol.run_traffic(count=30_000, rate=2000.0)
+        controller.stop()
+
+        event = controller.first_conviction
+        assert event is not None, "controller never convicted"
+        assert event.convicted == {4}
+        assert adversaries[4].rate == 0.0  # bypassed
+        # Conviction fired mid-run, not at the end.
+        assert event.packets_sent < 30_000
+
+    def test_no_conviction_without_adversary(self):
+        scenario = paper_scenario(
+            params=ProtocolParams(probe_frequency=0.5), node_drop_rate=0.0
+        )
+        simulator = Simulator(seed=2)
+        adversaries = scenario.build_adversaries(simulator)
+        from repro.protocols.registry import make_protocol
+
+        protocol = make_protocol(
+            "paai1", simulator, scenario.params, adversaries=adversaries
+        )
+        controller = AAIController(
+            protocol, bypass_adversaries(adversaries), check_interval=0.25
+        )
+        controller.start()
+        protocol.run_traffic(count=10_000, rate=2000.0)
+        controller.stop()
+        assert controller.first_conviction is None
+
+    def test_each_conviction_reported_once(self):
+        fired = []
+        scenario = paper_scenario(
+            params=ProtocolParams(probe_frequency=0.5), node_drop_rate=0.08
+        )
+        simulator = Simulator(seed=3)
+        adversaries = scenario.build_adversaries(simulator)
+        from repro.protocols.registry import make_protocol
+
+        protocol = make_protocol(
+            "paai1", simulator, scenario.params, adversaries=adversaries
+        )
+        controller = AAIController(
+            protocol, lambda event: fired.append(event), check_interval=0.25
+        )
+        controller.start()
+        protocol.run_traffic(count=20_000, rate=2000.0)
+        controller.stop()
+        all_convicted = [link for event in fired for link in event.convicted]
+        assert len(all_convicted) == len(set(all_convicted))
+        assert 4 in all_convicted
+
+    def test_validation(self):
+        scenario = paper_scenario()
+        simulator = Simulator(seed=4)
+        from repro.protocols.registry import make_protocol
+
+        protocol = make_protocol("paai1", simulator, scenario.params)
+        with pytest.raises(ConfigurationError):
+            AAIController(protocol, lambda e: None, check_interval=0.0)
+        controller = AAIController(protocol, lambda e: None)
+        controller.start()
+        with pytest.raises(ConfigurationError):
+            controller.start()

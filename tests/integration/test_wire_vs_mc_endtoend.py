@@ -1,0 +1,126 @@
+"""End-to-end validation of the Monte-Carlo engine against wire runs.
+
+The MC engine's premise is that per-round outcomes are i.i.d. draws from
+the closed-form distribution. The score-rate cross-validation
+(test_wire_vs_model) checks first moments; this test checks the actual
+deliverable — conviction (FP/FN) rates over time — by running a population
+of real wire simulations and comparing their verdict frequencies with the
+MC engine's at matched checkpoints.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.identification import identify_links
+from repro.mc.detection import DetectionExperiment
+from repro.net.simulator import Simulator
+from repro.protocols.models import calibrated_thresholds
+from repro.workloads.scenarios import paper_scenario
+
+SCENARIO = paper_scenario()
+CHECKPOINTS = [250, 500, 1000, 1500]
+WIRE_RUNS = 60
+
+
+@pytest.fixture(scope="module")
+def wire_population():
+    """Conviction outcomes of WIRE_RUNS real full-ack simulations."""
+    params = SCENARIO.params
+    thresholds = calibrated_thresholds("full-ack", params)
+    outcomes = np.zeros((len(CHECKPOINTS), WIRE_RUNS, params.path_length),
+                        dtype=bool)
+    for run in range(WIRE_RUNS):
+        simulator = Simulator(seed=1000 + run)
+        protocol = SCENARIO.build_protocol(
+            "full-ack", simulator, key_seed=b"run-%d" % run
+        )
+        previous = 0
+        for index, checkpoint in enumerate(CHECKPOINTS):
+            protocol.run_traffic(
+                count=checkpoint - previous, rate=2000.0
+            )
+            previous = checkpoint
+            verdict = identify_links(
+                protocol.estimates(), thresholds, protocol.board.rounds
+            )
+            for link in verdict.convicted:
+                outcomes[index, run, link] = True
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def mc_population():
+    experiment = DetectionExperiment(
+        "full-ack", SCENARIO, runs=20_000, horizon=CHECKPOINTS[-1],
+        checkpoints=CHECKPOINTS, seed=5,
+    )
+    return experiment.run()
+
+
+def binomial_tolerance(p, n, sigmas=4.0):
+    return sigmas * math.sqrt(max(p * (1 - p), 0.004) / n)
+
+
+class TestWireVsMcConvictions:
+    def test_fn_rates_agree(self, wire_population, mc_population):
+        wire_fn = (~wire_population[:, :, 4]).mean(axis=1)
+        mc_fn = mc_population.curve.fn_rates
+        for index in range(len(CHECKPOINTS)):
+            tolerance = binomial_tolerance(mc_fn[index], WIRE_RUNS)
+            assert abs(wire_fn[index] - mc_fn[index]) <= tolerance, (
+                CHECKPOINTS[index], wire_fn[index], mc_fn[index]
+            )
+
+    def test_fp_rates_agree(self, wire_population, mc_population):
+        honest = [0, 1, 2, 3, 5]
+        wire_fp = wire_population[:, :, honest].any(axis=2).mean(axis=1)
+        mc_fp = mc_population.curve.fp_rates
+        for index in range(len(CHECKPOINTS)):
+            tolerance = binomial_tolerance(mc_fp[index], WIRE_RUNS)
+            assert abs(wire_fp[index] - mc_fp[index]) <= tolerance, (
+                CHECKPOINTS[index], wire_fp[index], mc_fp[index]
+            )
+
+    def test_per_link_conviction_rates_agree_at_horizon(
+        self, wire_population, mc_population
+    ):
+        wire_final = wire_population[-1].mean(axis=0)
+        mc_final = mc_population.convictions[-1].mean(axis=0)
+        for link in range(6):
+            tolerance = binomial_tolerance(float(mc_final[link]), WIRE_RUNS)
+            assert abs(wire_final[link] - mc_final[link]) <= tolerance, (
+                link, wire_final[link], mc_final[link]
+            )
+
+
+class TestStatFLWireVsMc:
+    def test_estimate_distributions_agree(self):
+        """The MC statFL path (binomial thinning + counter sampling) must
+        produce per-link estimates statistically compatible with the wire
+        protocol's at matched traffic."""
+        params = SCENARIO.params
+        packets = 4000
+        wire_estimates = []
+        for run in range(12):
+            simulator = Simulator(seed=3000 + run)
+            protocol = SCENARIO.build_protocol(
+                "statfl", simulator, fl_sampling=0.2, interval_length=500,
+                key_seed=b"statfl-%d" % run,
+            )
+            protocol.run_traffic(count=packets, rate=4000.0)
+            wire_estimates.append(protocol.estimates())
+        wire_mean = np.asarray(wire_estimates).mean(axis=0)
+
+        mc = DetectionExperiment(
+            "statfl", SCENARIO, runs=4000, horizon=packets,
+            checkpoints=[packets], seed=8, fl_sampling=0.2,
+        ).run()
+        mc_mean = mc.estimates_last.mean(axis=0)
+        mc_std = mc.estimates_last.std(axis=0)
+        for link in range(params.path_length):
+            tolerance = 4.0 * mc_std[link] / math.sqrt(12) + 0.004
+            assert abs(wire_mean[link] - mc_mean[link]) <= tolerance, (
+                link, wire_mean[link], mc_mean[link], tolerance
+            )

@@ -1,0 +1,89 @@
+"""Cross-validation: the closed-form outcome models of
+``repro.protocols.models`` must agree with the wire simulator.
+
+For each protocol we run the full event-driven simulation on a lossy path
+with a planted adversary and compare the empirical per-link score rates
+against the model's expectations, within binomial sampling tolerance.
+This is what licenses the Monte-Carlo engine (which draws from the models)
+to stand in for 10,000 wire runs.
+"""
+
+import math
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.net.simulator import Simulator
+from repro.protocols import models
+from repro.workloads.scenarios import Scenario
+
+# A deliberately lossy configuration so every outcome category gets
+# exercised with decent counts in a few thousand rounds.
+PARAMS = ProtocolParams(
+    path_length=4,
+    natural_loss=0.05,
+    alpha=0.2,
+    probe_frequency=1.0,
+)
+SCENARIO = Scenario(params=PARAMS, malicious_nodes={2: 0.15})
+
+
+def expected_score_rates(model):
+    """Expected per-link score increments per round."""
+    matrix = model.score_matrix()
+    return (model.probabilities @ matrix).tolist()
+
+
+def tolerance(rate, rounds, sigmas=4.5):
+    return sigmas * math.sqrt(max(rate, 0.003) * (1 - min(rate, 0.997)) / rounds) + 1e-9
+
+
+@pytest.mark.parametrize("name", ["full-ack", "paai1", "paai2", "combo1", "combo2"])
+def test_wire_matches_model(name):
+    sim = Simulator(seed=77)
+    protocol = SCENARIO.build_protocol(name, sim)
+    protocol.run_traffic(count=4000, rate=2000.0)
+    rounds = protocol.board.rounds
+    assert rounds > 1000, f"{name}: too few observation rounds ({rounds})"
+
+    model = models.build_model(name, *SCENARIO.model_rates(), PARAMS)
+    expected = expected_score_rates(model)
+    observed = [score / rounds for score in protocol.board.scores]
+    for link, (obs, exp) in enumerate(zip(observed, expected)):
+        assert abs(obs - exp) <= tolerance(exp, rounds), (
+            f"{name} link {link}: observed {obs:.4f}, expected {exp:.4f} "
+            f"(rounds={rounds}, scores={protocol.board.scores})"
+        )
+
+
+@pytest.mark.parametrize("name", ["full-ack", "paai1", "paai2", "combo1", "combo2"])
+def test_model_probabilities_are_a_distribution(name):
+    model = models.build_model(name, *SCENARIO.model_rates(), PARAMS)
+    assert model.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+    assert (model.probabilities >= 0).all()
+
+
+@pytest.mark.parametrize("name", ["full-ack", "paai1", "paai2", "combo1", "combo2"])
+def test_expected_estimates_separate_malicious_link(name):
+    """Under the planted adversary the model's expected estimate at the
+    malicious link must exceed its calibrated threshold, and honest links
+    must stay below theirs — the analytic version of correct conviction."""
+    model = models.build_model(name, *SCENARIO.model_rates(), PARAMS)
+    estimates = model.expected_estimates()
+    thresholds = models.calibrated_thresholds(name, PARAMS)
+    assert estimates[2] > thresholds[2], (estimates, thresholds)
+    for link in (0, 1, 3):
+        assert estimates[link] < thresholds[link], (link, estimates, thresholds)
+
+
+def test_paai1_model_round_rate():
+    model = models.paai1_model([0.01] * 6, [0.01] * 6, [0.01] * 6, probe_frequency=1 / 36)
+    assert model.rounds_per_packet == pytest.approx(1 / 36)
+
+
+def test_natural_estimates_close_to_rho_for_forward_estimators():
+    params = ProtocolParams()
+    for name in ("paai2", "statfl"):
+        natural = models.natural_estimates(name, params)
+        for value in natural:
+            assert abs(value - params.natural_loss) < 0.01, (name, natural)

@@ -1,0 +1,99 @@
+"""Property-based tests for the network substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.events import EventQueue
+from repro.net.node import Node, PacketStore
+from repro.net.packets import DataPacket, Direction
+from repro.net.path import Path
+from repro.net.simulator import Simulator
+
+
+class Collector(Node):
+    def __init__(self, position):
+        super().__init__(position)
+        self.received = []
+
+    def on_packet(self, packet, direction):
+        self.received.append(packet.sequence)
+
+
+class TestEventOrdering:
+    @given(times=st.lists(st.floats(0.0, 1000.0, allow_nan=False,
+                                    allow_infinity=False),
+                          min_size=1, max_size=100))
+    def test_events_fire_in_time_order(self, times):
+        queue = EventQueue()
+        fired = []
+        for time in times:
+            queue.schedule(time, lambda t=time: fired.append(t))
+        while (item := queue.pop()) is not None:
+            item[1]()
+        assert fired == sorted(times)
+
+    @given(times=st.lists(st.floats(0.0, 100.0, allow_nan=False),
+                          min_size=1, max_size=60))
+    def test_simulator_clock_never_regresses(self, times):
+        simulator = Simulator()
+        observed = []
+        for time in times:
+            simulator.schedule_at(time, lambda: observed.append(simulator.now))
+        simulator.run()
+        assert observed == sorted(observed)
+
+
+class TestFifoLinks:
+    @settings(max_examples=25)
+    @given(
+        count=st.integers(2, 60),
+        seed=st.integers(0, 10_000),
+        gap=st.floats(0.0, 0.002),
+    )
+    def test_no_reordering_on_a_link(self, count, seed, gap):
+        """Packets sent in order on a link arrive in order regardless of
+        the per-packet latency draws — FIFO is what lets a probe trail its
+        data packet safely."""
+        simulator = Simulator(seed=seed)
+        path = Path(simulator, length=1, natural_loss=0.0, max_latency=0.005)
+        sender, receiver = Collector(0), Collector(1)
+        path.attach_nodes([sender, receiver])
+
+        for index in range(count):
+            simulator.schedule_at(
+                index * gap,
+                lambda i=index: sender.send_forward(
+                    DataPacket.create(b"p%d" % i, timestamp=0.0, sequence=i)
+                ),
+            )
+        simulator.run()
+        assert receiver.received == sorted(receiver.received)
+        assert len(receiver.received) == count
+
+
+class TestPacketStoreInvariants:
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["add", "pop"]), st.integers(0, 15)),
+            max_size=100,
+        )
+    )
+    def test_size_and_peak_consistency(self, operations):
+        store = PacketStore()
+        alive = set()
+        clock = 0.0
+        peak = 0
+        for action, key in operations:
+            clock += 1.0
+            identifier = bytes([key])
+            if action == "add":
+                store.add(identifier, clock)
+                alive.add(identifier)
+            else:
+                store.pop(identifier, clock)
+                alive.discard(identifier)
+            peak = max(peak, len(alive))
+            assert len(store) == len(alive)
+            for identifier in alive:
+                assert identifier in store
+        assert store.peak == peak

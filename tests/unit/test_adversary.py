@@ -1,0 +1,281 @@
+"""Tests for adversary strategies (in isolation; protocol-level effects are
+covered by the integration tests)."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    CollusionCoordinator,
+    IncriminationAttacker,
+    PassThrough,
+    ReportForger,
+    SelectiveDropper,
+    UniformDropper,
+    WithholdingAttacker,
+)
+from repro.exceptions import ConfigurationError
+from repro.net.packets import AckPacket, DataPacket, Direction, PacketKind, ProbePacket
+
+
+def _data(i=0):
+    return DataPacket.create(payload=b"payload-%d" % i, timestamp=float(i))
+
+
+def _ack(i=0, report=b"r" * 20):
+    return AckPacket.create(identifier=b"%032d" % i, report=report, origin=6)
+
+
+def _probe(identifier):
+    return ProbePacket.create(identifier=identifier)
+
+
+class FakeNode:
+    """Minimal node stand-in: records what the strategy forwards."""
+
+    def __init__(self, position=4):
+        self.position = position
+        self.forwarded = []
+
+    def send_forward(self, packet):
+        self.forwarded.append(packet)
+
+
+class TestPassThrough:
+    def test_never_drops(self):
+        strategy = PassThrough()
+        packet = _data()
+        assert strategy.process(FakeNode(), packet, Direction.FORWARD) is packet
+        assert strategy.total_drops == 0
+
+
+class TestUniformDropper:
+    def test_rate_zero_never_drops(self):
+        strategy = UniformDropper(0.0, random.Random(0))
+        assert all(
+            strategy.process(FakeNode(), _data(i), Direction.FORWARD) is not None
+            for i in range(100)
+        )
+
+    def test_rate_one_always_drops(self):
+        strategy = UniformDropper(1.0, random.Random(0))
+        assert all(
+            strategy.process(FakeNode(), _data(i), Direction.FORWARD) is None
+            for i in range(100)
+        )
+        assert strategy.total_drops == 100
+
+    def test_empirical_rate(self):
+        strategy = UniformDropper(0.2, random.Random(1))
+        n = 10000
+        drops = sum(
+            strategy.process(FakeNode(), _data(i), Direction.FORWARD) is None
+            for i in range(n)
+        )
+        assert abs(drops / n - 0.2) < 0.02
+
+    def test_kind_agnostic(self):
+        strategy = UniformDropper(1.0, random.Random(2))
+        assert strategy.process(FakeNode(), _ack(), Direction.REVERSE) is None
+        assert strategy.process(FakeNode(), _probe(b"i" * 32), Direction.FORWARD) is None
+        assert strategy.drop_log[(PacketKind.ACK, Direction.REVERSE)] == 1
+
+    def test_bypass(self):
+        strategy = UniformDropper(1.0, random.Random(3))
+        strategy.bypass()
+        assert strategy.process(FakeNode(), _data(), Direction.FORWARD) is not None
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            UniformDropper(1.5, random.Random(0))
+
+
+class TestSelectiveDropper:
+    def test_kind_specific(self):
+        strategy = SelectiveDropper({PacketKind.PROBE: 1.0}, random.Random(0))
+        assert strategy.process(FakeNode(), _probe(b"i" * 32), Direction.FORWARD) is None
+        assert strategy.process(FakeNode(), _data(), Direction.FORWARD) is not None
+
+    def test_direction_specific(self):
+        strategy = SelectiveDropper(
+            {(PacketKind.ACK, Direction.REVERSE): 1.0}, random.Random(0)
+        )
+        assert strategy.process(FakeNode(), _ack(), Direction.REVERSE) is None
+        assert strategy.process(FakeNode(), _ack(), Direction.FORWARD) is not None
+
+    def test_rate_lookup(self):
+        strategy = SelectiveDropper({PacketKind.DATA: 0.3}, random.Random(0))
+        assert strategy.rate_for(PacketKind.DATA, Direction.FORWARD) == 0.3
+        assert strategy.rate_for(PacketKind.ACK, Direction.FORWARD) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveDropper({PacketKind.DATA: -0.1}, random.Random(0))
+
+
+class TestIncriminationAttacker:
+    def test_oracle_attack_drops_on_target_selection(self):
+        # Oracle says node 5 (=h+1 for h=4) is selected for even packets.
+        oracle = lambda ident: 5 if ident[-1] % 2 == 0 else 3
+        strategy = IncriminationAttacker(
+            target_link=4, selection_oracle=oracle, rng=random.Random(0)
+        )
+        even = AckPacket.create(identifier=bytes(31) + bytes([2]), report=b"r", origin=6)
+        odd = AckPacket.create(identifier=bytes(31) + bytes([3]), report=b"r", origin=6)
+        assert strategy.process(FakeNode(), even, Direction.REVERSE) is None
+        assert strategy.process(FakeNode(), odd, Direction.REVERSE) is not None
+
+    def test_only_acks_affected(self):
+        strategy = IncriminationAttacker(
+            target_link=2, selection_oracle=lambda _: 3, rng=random.Random(0)
+        )
+        assert strategy.process(FakeNode(), _data(), Direction.FORWARD) is not None
+
+    def test_blind_mode_guesses(self):
+        strategy = IncriminationAttacker(
+            target_link=2, selection_oracle=None, rng=random.Random(1), guess_rate=1.0
+        )
+        assert strategy.process(FakeNode(), _ack(), Direction.REVERSE) is None
+
+    def test_blind_mode_zero_guess_rate_harmless(self):
+        strategy = IncriminationAttacker(
+            target_link=2, selection_oracle=None, rng=random.Random(1)
+        )
+        assert strategy.process(FakeNode(), _ack(), Direction.REVERSE) is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IncriminationAttacker(-1, None, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            IncriminationAttacker(1, None, random.Random(0), guess_rate=2.0)
+
+
+class TestWithholdingAttacker:
+    def test_withholds_data(self):
+        strategy = WithholdingAttacker()
+        packet = _data()
+        assert strategy.process(FakeNode(), packet, Direction.FORWARD) is None
+        assert strategy.total_drops == 1
+
+    def test_releases_on_probe(self):
+        strategy = WithholdingAttacker()
+        node = FakeNode()
+        node.adversary = strategy
+        packet = _data()
+        strategy.process(node, packet, Direction.FORWARD)
+        probe = _probe(packet.identifier)
+        assert strategy.process(node, probe, Direction.FORWARD) is probe
+        assert strategy.released == 1
+        assert node.forwarded == [packet]
+
+    def test_release_passes_through_strategy(self):
+        """The re-sent data packet must not be withheld again."""
+        strategy = WithholdingAttacker()
+        packet = _data()
+        strategy.process(FakeNode(), packet, Direction.FORWARD)
+        strategy.process(FakeNode(), _probe(packet.identifier), Direction.FORWARD)
+        # Simulates node.send_forward re-entering egress:
+        assert strategy.process(FakeNode(), packet, Direction.FORWARD) is packet
+
+    def test_probe_for_unknown_packet(self):
+        strategy = WithholdingAttacker()
+        probe = _probe(b"u" * 32)
+        assert strategy.process(FakeNode(), probe, Direction.FORWARD) is probe
+        assert strategy.released == 0
+
+    def test_finalize_counts_suppressed(self):
+        strategy = WithholdingAttacker()
+        for i in range(3):
+            strategy.process(FakeNode(), _data(i), Direction.FORWARD)
+        strategy.finalize()
+        assert strategy.suppressed == 3
+
+
+class TestCollusionCoordinator:
+    def test_strategies_per_position(self):
+        group = CollusionCoordinator([2, 4], 0.5, random.Random(0))
+        assert group.strategy_for(2) is not group.strategy_for(4)
+        with pytest.raises(ConfigurationError):
+            group.strategy_for(3)
+
+    def test_independent_mode_rate(self):
+        group = CollusionCoordinator([2], 0.3, random.Random(1))
+        strategy = group.strategy_for(2)
+        n = 10000
+        drops = sum(
+            strategy.process(FakeNode(2), _data(i), Direction.FORWARD) is None
+            for i in range(n)
+        )
+        assert abs(drops / n - 0.3) < 0.02
+
+    def test_round_robin_shares_drops(self):
+        group = CollusionCoordinator([2, 4], 0.25, random.Random(2), mode="round-robin")
+        s2, s4 = group.strategy_for(2), group.strategy_for(4)
+        for i in range(4000):
+            s2.process(FakeNode(2), _data(i), Direction.FORWARD)
+            s4.process(FakeNode(4), _data(i), Direction.FORWARD)
+        drops = group.drops_by_position()
+        assert drops[2] > 0 and drops[4] > 0
+        total = group.total_drops
+        assert abs(drops[2] - drops[4]) < 0.25 * total
+
+    def test_bypass_member(self):
+        group = CollusionCoordinator([2, 4], 1.0, random.Random(3))
+        group.bypass(2)
+        s2 = group.strategy_for(2)
+        assert s2.process(FakeNode(2), _data(), Direction.FORWARD) is not None
+        s4 = group.strategy_for(4)
+        assert s4.process(FakeNode(4), _data(), Direction.FORWARD) is None
+
+    def test_bypass_all(self):
+        group = CollusionCoordinator([2, 4], 1.0, random.Random(4))
+        group.bypass()
+        assert group.strategy_for(4).process(FakeNode(4), _data(), Direction.FORWARD) is not None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollusionCoordinator([], 0.5, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            CollusionCoordinator([1, 1], 0.5, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            CollusionCoordinator([1], 0.5, random.Random(0), mode="bogus")
+
+
+class TestReportForger:
+    def test_corrupt_changes_report(self):
+        strategy = ReportForger(1.0, random.Random(0), mode="corrupt")
+        ack = _ack(report=b"r" * 40)
+        out = strategy.process(FakeNode(), ack, Direction.REVERSE)
+        assert out is not None
+        assert out.report != ack.report
+        assert len(out.report) == len(ack.report)
+        assert strategy.total_alterations == 1
+
+    def test_replace_substitutes_report(self):
+        strategy = ReportForger(1.0, random.Random(1), mode="replace")
+        ack = _ack(report=b"r" * 10)
+        out = strategy.process(FakeNode(position=3), ack, Direction.REVERSE)
+        assert out.report != ack.report
+        assert out.origin == 3
+
+    def test_rate_zero(self):
+        strategy = ReportForger(0.0, random.Random(2))
+        ack = _ack()
+        assert strategy.process(FakeNode(), ack, Direction.REVERSE) is ack
+
+    def test_non_acks_untouched(self):
+        strategy = ReportForger(1.0, random.Random(3))
+        data = _data()
+        assert strategy.process(FakeNode(), data, Direction.FORWARD) is data
+
+    def test_empty_report_replaced(self):
+        strategy = ReportForger(1.0, random.Random(4), mode="corrupt")
+        ack = _ack(report=b"")
+        out = strategy.process(FakeNode(), ack, Direction.REVERSE)
+        assert out.report  # something was substituted
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReportForger(2.0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            ReportForger(0.5, random.Random(0), mode="bogus")

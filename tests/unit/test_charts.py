@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.charts import GLYPHS, fpfn_chart, render_chart
+from repro.metrics.confusion import FpFnCurve
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            [("a", [(0, 0.0), (5, 1.0)]), ("b", [(0, 1.0), (5, 0.0)])],
+            width=20, height=6, title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in line for line in lines)
+        assert any("x" in line for line in lines)
+        assert "o a" in lines[-1] and "x b" in lines[-1]
+
+    def test_extremes_land_on_borders(self):
+        chart = render_chart(
+            [("s", [(0, 0.0), (10, 1.0)])], width=20, height=6
+        )
+        rows = [line for line in chart.splitlines() if "|" in line]
+        body = [line.split("|", 1)[1] for line in rows]
+        assert body[0].rstrip().endswith("o")   # max y at top-right
+        assert body[-1].startswith("o")          # min y at bottom-left
+
+    def test_log_axes(self):
+        chart = render_chart(
+            [("s", [(10, 0.5), (10_000, 0.005)])],
+            log_x=True, log_y=True,
+        )
+        assert "1e+04" in chart or "10000" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in render_chart([("s", [])], title="empty")
+
+    def test_zero_y_clamped_on_log_axis(self):
+        chart = render_chart(
+            [("s", [(1, 0.0), (10, 1.0)])], log_y=True, y_floor=1e-4
+        )
+        assert "0.0001" in chart
+
+    def test_flat_series(self):
+        chart = render_chart([("s", [(0, 0.5), (1, 0.5)])])
+        assert "o" in chart
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_chart([("s", [(0, 1)])], width=4, height=2)
+
+    def test_many_series_glyph_cycle(self):
+        series = [(f"s{i}", [(i, i)]) for i in range(len(GLYPHS) + 2)]
+        chart = render_chart(series)
+        assert GLYPHS[0] in chart
+
+
+class TestFpFnChart:
+    def test_renders_curve(self):
+        curve = FpFnCurve(
+            checkpoints=[10, 100, 1000],
+            fp_rates=[0.5, 0.05, 0.0],
+            fn_rates=[0.9, 0.2, 0.01],
+            runs=100,
+        )
+        chart = fpfn_chart(curve, "demo")
+        assert "demo" in chart
+        assert "false positive" in chart
+        assert "false negative" in chart

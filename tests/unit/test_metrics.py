@@ -1,0 +1,187 @@
+"""Tests for the metrics layer: confusion curves, storage recording,
+communication summaries, convergence detection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.confusion import FpFnCurve, curve_from_convictions
+from repro.metrics.convergence import convergence_point, first_exact_round
+from repro.metrics.storage import StorageRecorder
+from repro.net.node import PacketStore
+
+
+class TestFpFnCurve:
+    def test_convergence_packets(self):
+        curve = FpFnCurve(
+            checkpoints=[10, 100, 1000],
+            fp_rates=[0.5, 0.02, 0.01],
+            fn_rates=[0.9, 0.10, 0.02],
+            runs=100,
+        )
+        assert curve.convergence_packets(sigma=0.03) == 1000
+        assert curve.convergence_packets(sigma=0.15) == 100
+        assert curve.convergence_packets(sigma=0.001) is None
+
+    def test_convergence_requires_staying_converged(self):
+        curve = FpFnCurve(
+            checkpoints=[10, 100, 1000],
+            fp_rates=[0.01, 0.5, 0.01],  # dips then rises again
+            fn_rates=[0.01, 0.01, 0.01],
+            runs=100,
+        )
+        assert curve.convergence_packets(sigma=0.03) == 1000
+
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            FpFnCurve([1, 2], [0.1], [0.1], runs=10)
+
+    def test_as_rows(self):
+        curve = FpFnCurve([1], [0.5], [0.6], runs=2)
+        assert curve.as_rows() == [(1, 0.5, 0.6)]
+
+
+class TestCurveFromConvictions:
+    def test_basic(self):
+        # 2 checkpoints, 2 runs, 3 links; link 1 is malicious.
+        convictions = np.array(
+            [
+                [[False, False, False], [True, False, False]],
+                [[False, True, False], [False, True, True]],
+            ]
+        )
+        curve = curve_from_convictions([10, 20], convictions, malicious_links=[1])
+        # t=10: run0 convicts nothing (fn), run1 convicts honest l0 (fp+fn)
+        assert curve.fp_rates[0] == 0.5
+        assert curve.fn_rates[0] == 1.0
+        # t=20: run0 exact; run1 convicts l1 (ok) and honest l2 (fp)
+        assert curve.fp_rates[1] == 0.5
+        assert curve.fn_rates[1] == 0.0
+
+    def test_no_malicious_links(self):
+        convictions = np.zeros((1, 4, 2), dtype=bool)
+        curve = curve_from_convictions([5], convictions, malicious_links=[])
+        assert curve.fn_rates == [0.0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            curve_from_convictions([1], np.zeros((2, 2)), [0])
+        with pytest.raises(ConfigurationError):
+            curve_from_convictions([1, 2], np.zeros((1, 2, 2), dtype=bool), [0])
+
+
+class TestFirstExactRound:
+    def test_per_run_convergence(self):
+        # 3 checkpoints, 2 runs, 2 links, link 0 malicious.
+        convictions = np.array(
+            [
+                [[True, False], [False, False]],
+                [[True, False], [True, True]],
+                [[True, False], [True, False]],
+            ]
+        )
+        first = first_exact_round([10, 20, 30], convictions, [0])
+        assert first[0] == 10  # exact from the start
+        assert first[1] == 30  # fp at 20, exact only at 30
+
+    def test_never_converged(self):
+        convictions = np.zeros((2, 1, 2), dtype=bool)
+        first = first_exact_round([10, 20], convictions, [0])
+        assert first[0] == -1
+
+    def test_stability_requirement(self):
+        # Exact at cp0, wrong at cp1, exact at cp2 -> counts from cp2.
+        convictions = np.array([[[True]], [[False]], [[True]]])
+        first = first_exact_round([1, 2, 3], convictions, [0])
+        assert first[0] == 3
+
+
+class TestConvergencePoint:
+    def test_delegates(self):
+        curve = FpFnCurve([10], [0.0], [0.0], runs=1)
+        assert convergence_point(curve, 0.03) == 10
+
+    def test_sigma_validation(self):
+        curve = FpFnCurve([10], [0.0], [0.0], runs=1)
+        with pytest.raises(ConfigurationError):
+            convergence_point(curve, 0.0)
+
+
+class TestStorageRecorder:
+    def test_records_store_changes(self):
+        recorder = StorageRecorder()
+        store = PacketStore(observer=recorder)
+        store.add(b"a", now=1.0)
+        store.add(b"b", now=2.0)
+        store.pop(b"a", now=3.0)
+        assert recorder.events == [(1.0, 1), (2.0, 2), (3.0, 1)]
+        assert recorder.peak == 2
+
+    def test_occupancy_at(self):
+        recorder = StorageRecorder()
+        recorder(1.0, 1)
+        recorder(2.0, 3)
+        recorder(4.0, 0)
+        assert recorder.occupancy_at(0.5) == 0
+        assert recorder.occupancy_at(1.5) == 1
+        assert recorder.occupancy_at(2.0) == 3
+        assert recorder.occupancy_at(10.0) == 0
+
+    def test_resample(self):
+        recorder = StorageRecorder()
+        recorder(0.5, 2)
+        recorder(1.5, 5)
+        samples = recorder.resample(start=0.0, end=2.0, step=1.0)
+        assert samples == [(0.0, 0), (1.0, 2), (2.0, 5)]
+
+    def test_resample_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageRecorder().resample(0.0, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            StorageRecorder().resample(2.0, 1.0, 0.5)
+
+    def test_mean_occupancy(self):
+        recorder = StorageRecorder()
+        recorder(0.0, 2)
+        recorder(1.0, 4)
+        # [0,1): 2, [1,2): 4 -> mean 3 over [0,2]
+        assert recorder.mean_occupancy(0.0, 2.0) == pytest.approx(3.0)
+
+    def test_mean_occupancy_window_clamping(self):
+        recorder = StorageRecorder()
+        recorder(0.0, 10)
+        recorder(5.0, 0)
+        assert recorder.mean_occupancy(1.0, 3.0) == pytest.approx(10.0)
+
+    def test_mean_occupancy_validation(self):
+        with pytest.raises(ConfigurationError):
+            StorageRecorder().mean_occupancy(1.0, 1.0)
+
+
+class TestPerLinkErrorRates:
+    def test_honest_and_malicious_semantics(self):
+        import numpy as np
+
+        from repro.mc.detection import DetectionResult
+        from repro.metrics.confusion import curve_from_convictions
+
+        # 2 checkpoints, 4 runs, 3 links; link 1 malicious.
+        convictions = np.array([
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 1, 0]],
+            [[0, 1, 0], [0, 1, 0], [0, 1, 0], [0, 1, 1]],
+        ], dtype=bool)
+        result = DetectionResult(
+            protocol="full-ack",
+            checkpoints=[10, 20],
+            curve=curve_from_convictions([10, 20], convictions, [1]),
+            convictions=convictions,
+            estimates_last=np.zeros((4, 3)),
+            malicious_links=[1],
+        )
+        errors = result.per_link_error_rates()
+        # Honest links: conviction frequency (FP).
+        assert errors[0, 0] == 0.25   # l0 convicted in 1/4 runs at cp0
+        assert errors[1, 2] == 0.25   # l2 convicted in 1/4 runs at cp1
+        # Malicious link: non-conviction frequency (FN).
+        assert errors[0, 1] == 0.5    # convicted in 2/4 -> FN 0.5
+        assert errors[1, 1] == 0.0    # convicted everywhere -> FN 0

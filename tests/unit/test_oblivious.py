@@ -1,0 +1,152 @@
+"""Tests for PAAI-2's oblivious report layer."""
+
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.oblivious import DecodedReport, ObliviousDecoder, ObliviousReport
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def manager():
+    return KeyManager(path_length=6)
+
+
+@pytest.fixture
+def decoder(manager):
+    enc = [manager.encryption_key(i) for i in range(1, 7)]
+    macs = [manager.mac_key(i) for i in range(1, 7)]
+    return ObliviousDecoder(enc, macs)
+
+
+def _relay_to_source(manager, report, from_node):
+    """Re-encrypt ``report`` at every node upstream of ``from_node`` exactly
+    as the ack travels F_from -> ... -> F_1 -> S."""
+    for node in range(from_node - 1, 0, -1):
+        report = ObliviousReport.reencrypt(report, manager.encryption_key(node))
+    return report
+
+
+class TestMatchPath:
+    @pytest.mark.parametrize("selected", [1, 2, 3, 4, 5, 6])
+    def test_selected_node_report_matches(self, manager, decoder, selected):
+        challenge = b"challenge-xyz"
+        report = ObliviousReport.originate(
+            selected,
+            challenge,
+            dest_ack=b"dest-ack-bytes",
+            mac_key=manager.mac_key(selected),
+            enc_key=manager.encryption_key(selected),
+        )
+        report = _relay_to_source(manager, report, selected)
+        decoded = decoder.decode(report, selected=selected, challenge=challenge)
+        assert decoded.matches
+        assert decoded.position == selected
+        assert decoded.has_dest_ack
+        assert decoded.dest_ack == b"dest-ack-bytes"
+
+    def test_missing_dest_ack_flagged(self, manager, decoder):
+        report = ObliviousReport.originate(
+            2, b"c", dest_ack=None,
+            mac_key=manager.mac_key(2), enc_key=manager.encryption_key(2),
+        )
+        report = _relay_to_source(manager, report, 2)
+        decoded = decoder.decode(report, selected=2, challenge=b"c")
+        assert decoded.matches
+        assert not decoded.has_dest_ack
+        assert decoded.dest_ack is None
+
+
+class TestMismatchPath:
+    def test_report_from_wrong_node(self, manager, decoder):
+        """A report that originated at F_3 (timer expiry) while F_5 was
+        selected decodes to garbage at depth 5 -> mismatch."""
+        report = ObliviousReport.originate(
+            3, b"c", None, manager.mac_key(3), manager.encryption_key(3)
+        )
+        report = _relay_to_source(manager, report, 3)
+        assert not decoder.decode(report, selected=5, challenge=b"c").matches
+
+    def test_wrong_challenge(self, manager, decoder):
+        report = ObliviousReport.originate(
+            2, b"challenge-a", b"a", manager.mac_key(2), manager.encryption_key(2)
+        )
+        report = _relay_to_source(manager, report, 2)
+        assert not decoder.decode(report, selected=2, challenge=b"challenge-b").matches
+
+    def test_missing_report(self, decoder):
+        assert not decoder.decode(None, selected=3, challenge=b"c").matches
+        assert not decoder.decode(b"", selected=3, challenge=b"c").matches
+
+    def test_tampered_report(self, manager, decoder):
+        report = ObliviousReport.originate(
+            4, b"c", b"ack", manager.mac_key(4), manager.encryption_key(4)
+        )
+        report = bytearray(_relay_to_source(manager, report, 4))
+        report[-1] ^= 1
+        assert not decoder.decode(bytes(report), selected=4, challenge=b"c").matches
+
+    def test_skipped_reencryption_detected(self, manager, decoder):
+        """If a node forwards the ack without re-encrypting (protocol
+        violation), the layer count is wrong and the decode mismatches."""
+        report = ObliviousReport.originate(
+            4, b"c", b"ack", manager.mac_key(4), manager.encryption_key(4)
+        )
+        # Skip node 3's re-encryption.
+        for node in (2, 1):
+            report = ObliviousReport.reencrypt(report, manager.encryption_key(node))
+        assert not decoder.decode(report, selected=4, challenge=b"c").matches
+
+    def test_forged_report_without_key(self, manager, decoder):
+        forged = ObliviousReport.originate(
+            5, b"c", b"ack", b"attacker-mac-key", b"attacker-enc-key"
+        )
+        forged = _relay_to_source(manager, forged, 5)
+        assert not decoder.decode(forged, selected=5, challenge=b"c").matches
+
+
+class TestObliviousness:
+    def test_constant_size_on_path(self, manager):
+        """An originated report and a re-encrypted report of the same inner
+        size are indistinguishable in length: traffic analysis learns
+        nothing from sizes."""
+        base = ObliviousReport.originate(
+            5, b"c" * 16, b"a" * 24, manager.mac_key(5), manager.encryption_key(5)
+        )
+        overwritten = ObliviousReport.originate(
+            4, b"c" * 16, b"a" * 24, manager.mac_key(4), manager.encryption_key(4)
+        )
+        # Overwrite replaces rather than nests, so sizes stay equal...
+        assert len(base) == len(overwritten)
+        # ...while a re-encryption adds exactly one nonce of growth per hop,
+        # independent of origin.
+        r1 = ObliviousReport.reencrypt(base, manager.encryption_key(4))
+        r2 = ObliviousReport.reencrypt(overwritten, manager.encryption_key(3))
+        assert len(r1) == len(r2)
+
+    def test_reencryptions_unlinkable(self, manager):
+        report = ObliviousReport.originate(
+            3, b"c", None, manager.mac_key(3), manager.encryption_key(3)
+        )
+        a = ObliviousReport.reencrypt(report, manager.encryption_key(2))
+        b = ObliviousReport.reencrypt(report, manager.encryption_key(2))
+        assert a != b  # fresh nonce per encryption
+
+
+class TestDecoderValidation:
+    def test_selected_out_of_range(self, decoder):
+        with pytest.raises(ConfigurationError):
+            decoder.decode(b"x" * 64, selected=0, challenge=b"c")
+        with pytest.raises(ConfigurationError):
+            decoder.decode(b"x" * 64, selected=7, challenge=b"c")
+
+    def test_key_list_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousDecoder([b"k1"], [b"k1", b"k2"])
+        with pytest.raises(ConfigurationError):
+            ObliviousDecoder([], [])
+
+    def test_decoded_report_defaults(self):
+        decoded = DecodedReport(matches=False)
+        assert decoded.position is None
+        assert not decoded.has_dest_ack

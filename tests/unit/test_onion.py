@@ -1,0 +1,152 @@
+"""Tests for onion reports: construction, verification, fault localization,
+and the security property that an adversary cannot shift blame off its own
+adjacent links."""
+
+import pytest
+
+from repro.crypto.keys import KeyManager
+from repro.crypto.onion import OnionReport, OnionVerifier
+from repro.exceptions import ConfigurationError
+
+
+def _build_chain(manager, origin, payloads=None):
+    """Build an onion report originating at node ``origin`` and wrapped by
+    nodes ``origin-1 .. 1``, as the protocol does on the return path."""
+    d = manager.path_length
+    payloads = payloads or {i: f"report-{i}".encode() for i in range(1, d + 1)}
+    report = OnionReport.originate(origin, payloads[origin], manager.mac_key(origin))
+    for node in range(origin - 1, 0, -1):
+        report = OnionReport.wrap(node, payloads[node], report, manager.mac_key(node))
+    return report
+
+
+@pytest.fixture
+def manager():
+    return KeyManager(path_length=6)
+
+
+@pytest.fixture
+def verifier(manager):
+    return OnionVerifier(manager.all_mac_keys())
+
+
+class TestHappyPath:
+    def test_full_chain_verifies(self, manager, verifier):
+        report = _build_chain(manager, origin=6)
+        verdict = verifier.verify(report)
+        assert verdict.deepest_valid == 6
+        assert verdict.complete
+        assert verdict.origin() == 6
+
+    def test_layers_decoded_in_order(self, manager, verifier):
+        report = _build_chain(manager, origin=6)
+        verdict = verifier.verify(report)
+        assert [layer.position for layer in verdict.layers] == [1, 2, 3, 4, 5, 6]
+        assert verdict.layers[3].payload == b"report-4"
+
+    @pytest.mark.parametrize("origin", [1, 2, 3, 4, 5])
+    def test_early_origin_locates_drop(self, manager, verifier, origin):
+        """A report originating at F_k (timer expiry) verifies to depth k,
+        blaming link l_k — the paper's localization rule."""
+        report = _build_chain(manager, origin=origin)
+        verdict = verifier.verify(report)
+        assert verdict.deepest_valid == origin
+        assert verdict.blamed_link == origin
+        assert verdict.complete
+
+
+class TestTamperDetection:
+    def test_flipped_byte_in_inner_layer(self, manager, verifier):
+        report = bytearray(_build_chain(manager, origin=6))
+        # Flip a byte near the end (innermost layer's MAC region).
+        report[-1] ^= 0xFF
+        verdict = verifier.verify(bytes(report))
+        assert verdict.deepest_valid < 6
+
+    def test_missing_report(self, verifier):
+        verdict = verifier.verify(None)
+        assert verdict.deepest_valid == 0
+        assert verdict.blamed_link == 0
+        assert not verdict.complete
+
+    def test_empty_report(self, verifier):
+        assert verifier.verify(b"").deepest_valid == 0
+
+    def test_garbage_report(self, verifier):
+        assert verifier.verify(b"\x00" * 100).deepest_valid == 0
+
+    def test_truncated_report(self, manager, verifier):
+        report = _build_chain(manager, origin=6)
+        assert verifier.verify(report[: len(report) // 2]).deepest_valid == 0
+
+    def test_wrong_position_rejected(self, manager, verifier):
+        # Node 2 originates but claims to be node 1's layer: outer parse
+        # expects position 1, sees 2 -> depth 0.
+        report = OnionReport.originate(2, b"r", manager.mac_key(2))
+        assert verifier.verify(report).deepest_valid == 0
+
+
+class TestBlameShifting:
+    """The key security argument: a malicious F_z that cuts or rewrites the
+    onion can only move blame onto a link adjacent to itself."""
+
+    def test_adversary_cannot_forge_downstream_layer(self, manager, verifier):
+        """F_3 drops the data packet, then fabricates an 'origin at F_5'
+        report without K_4/K_5: the source sees depth 3, blaming l_3 —
+        adjacent to the adversary."""
+        fake_inner = OnionReport.originate(5, b"forged", b"wrong-key")
+        fake_inner = OnionReport.wrap(4, b"forged", fake_inner, b"also-wrong")
+        report = OnionReport.wrap(3, b"r3", fake_inner, manager.mac_key(3))
+        report = OnionReport.wrap(2, b"r2", report, manager.mac_key(2))
+        report = OnionReport.wrap(1, b"r1", report, manager.mac_key(1))
+        verdict = verifier.verify(report)
+        assert verdict.blamed_link == 3
+
+    def test_adversary_cannot_blame_far_upstream(self, manager, verifier):
+        """F_4 replaces the honest inner report with junk: layers 1..4 still
+        verify (honest upstream nodes wrapped correctly), so blame lands on
+        l_4, not on an upstream honest link."""
+        junk = b"\x99" * 40
+        report = OnionReport.wrap(4, b"r4", junk, manager.mac_key(4))
+        for node in (3, 2, 1):
+            report = OnionReport.wrap(node, f"r{node}".encode(), report, manager.mac_key(node))
+        verdict = verifier.verify(report)
+        assert verdict.blamed_link == 4
+        assert not verdict.complete
+
+    def test_replay_of_shorter_chain(self, manager, verifier):
+        """Dropping the whole report and substituting an old origin-at-F_2
+        chain blames l_2 at worst (the substituting node must be upstream of
+        or at F_2 to splice it in with valid outer layers)."""
+        report = _build_chain(manager, origin=2)
+        verdict = verifier.verify(report)
+        assert verdict.blamed_link == 2
+
+
+class TestEncodingEdgeCases:
+    def test_empty_payload_allowed(self, manager, verifier):
+        report = OnionReport.originate(1, b"", manager.mac_key(1))
+        verdict = verifier.verify(report)
+        assert verdict.deepest_valid == 1
+        assert verdict.layers[0].payload == b""
+
+    def test_wrap_requires_inner(self):
+        with pytest.raises(ConfigurationError):
+            OnionReport.wrap(1, b"p", b"", b"key")
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            OnionReport.originate(-1, b"p", b"key")
+        with pytest.raises(ConfigurationError):
+            OnionReport.originate(2 ** 16, b"p", b"key")
+
+    def test_verifier_requires_keys(self):
+        with pytest.raises(ConfigurationError):
+            OnionVerifier([])
+
+    def test_report_longer_than_path_stops_at_path_end(self, manager):
+        """A verifier for a 2-hop path never reports depth > 2 even when fed
+        a 6-layer onion built with other keys."""
+        short = OnionVerifier(manager.all_mac_keys()[:2])
+        report = _build_chain(manager, origin=6)
+        assert short.verify(report).deepest_valid <= 2

@@ -1,0 +1,201 @@
+"""Tests for links, nodes, packet stores, and path wiring."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ProtocolError, SimulationError
+from repro.net.node import Node, PacketStore
+from repro.net.packets import DataPacket, Direction, PacketKind
+from repro.net.path import Path
+from repro.net.simulator import Simulator
+
+
+class Recorder(Node):
+    """Test node that logs every delivery and can auto-forward."""
+
+    def __init__(self, position, forward=False):
+        super().__init__(position)
+        self.received = []
+        self._forward = forward
+
+    def on_packet(self, packet, direction):
+        self.received.append((packet, direction, self.now))
+        if self._forward and direction is Direction.FORWARD:
+            if self.position < self.path.length:
+                self.send_forward(packet)
+
+
+def build_path(length=3, loss=0.0, forward=True, seed=0, max_latency=0.005):
+    sim = Simulator(seed=seed)
+    path = Path(sim, length=length, natural_loss=loss, max_latency=max_latency)
+    nodes = [Recorder(i, forward=forward) for i in range(length + 1)]
+    path.attach_nodes(nodes)
+    return sim, path, nodes
+
+
+class TestPacketStore:
+    def test_add_get_pop(self):
+        store = PacketStore()
+        store.add(b"id", now=1.0, hops=3)
+        assert b"id" in store
+        assert store.get(b"id")["hops"] == 3
+        assert store.get(b"id")["stored_at"] == 1.0
+        entry = store.pop(b"id", now=2.0)
+        assert entry["hops"] == 3
+        assert b"id" not in store
+
+    def test_peak_tracking(self):
+        store = PacketStore()
+        for i in range(5):
+            store.add(bytes([i]), now=float(i))
+        for i in range(5):
+            store.pop(bytes([i]), now=10.0 + i)
+        assert store.peak == 5
+        assert len(store) == 0
+
+    def test_observer_called_on_changes(self):
+        samples = []
+        store = PacketStore(observer=lambda t, s: samples.append((t, s)))
+        store.add(b"a", now=1.0)
+        store.add(b"b", now=2.0)
+        store.pop(b"a", now=3.0)
+        store.pop(b"missing", now=4.0)  # no change -> no sample
+        assert samples == [(1.0, 1), (2.0, 2), (3.0, 1)]
+
+    def test_clear(self):
+        store = PacketStore()
+        store.add(b"a", now=0.0)
+        store.clear(now=1.0)
+        assert len(store) == 0
+
+
+class TestPathWiring:
+    def test_forward_traversal_reaches_destination(self):
+        sim, path, nodes = build_path(length=3)
+        packet = DataPacket.create(b"payload", timestamp=0.0)
+        nodes[0].send_forward(packet)
+        sim.run()
+        assert len(nodes[3].received) == 1
+        received, direction, at = nodes[3].received[0]
+        assert received.identifier == packet.identifier
+        assert direction is Direction.FORWARD
+        # Three hops, each at most 5 ms.
+        assert 0.0 < at <= 0.015
+
+    def test_reverse_traversal(self):
+        sim, path, nodes = build_path(length=2, forward=False)
+        packet = DataPacket.create(b"up", timestamp=0.0)
+        nodes[2].send_backward(packet)
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert nodes[1].received[0][1] is Direction.REVERSE
+
+    def test_source_has_no_uplink(self):
+        _, _, nodes = build_path(length=2)
+        with pytest.raises(ProtocolError):
+            nodes[0].send_backward(DataPacket.create(b"x", 0.0))
+
+    def test_destination_has_no_downlink(self):
+        _, _, nodes = build_path(length=2, forward=False)
+        with pytest.raises(ProtocolError):
+            nodes[2].send_forward(DataPacket.create(b"x", 0.0))
+
+    def test_lossy_link_drops(self):
+        sim, path, nodes = build_path(length=1, loss=1.0)
+        nodes[0].send_forward(DataPacket.create(b"x", 0.0))
+        sim.run()
+        assert nodes[1].received == []
+        assert path.links[0].stats.total_natural_losses() == 1
+
+    def test_unattached_node_unusable(self):
+        node = Recorder(0)
+        with pytest.raises(SimulationError):
+            _ = node.now
+        with pytest.raises(SimulationError):
+            _ = node.path
+
+    def test_node_count_validation(self):
+        sim = Simulator()
+        path = Path(sim, length=2)
+        with pytest.raises(ConfigurationError):
+            path.attach_nodes([Recorder(0)])
+
+    def test_node_position_validation(self):
+        sim = Simulator()
+        path = Path(sim, length=1)
+        with pytest.raises(ConfigurationError):
+            path.attach_nodes([Recorder(0), Recorder(5)])
+
+    def test_per_link_loss_rates(self):
+        sim = Simulator()
+        path = Path(sim, length=3, natural_loss=[0.0, 0.5, 1.0])
+        assert path.true_link_rates() == [0.0, 0.5, 1.0]
+
+    def test_loss_rate_list_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            Path(Simulator(), length=3, natural_loss=[0.1])
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            Path(Simulator(), length=0)
+
+
+class TestRttBounds:
+    def test_formula(self):
+        _, path, _ = build_path(length=6, max_latency=0.005)
+        assert path.r0 == pytest.approx(0.060)
+        assert path.rtt_bound(4) == pytest.approx(0.020)
+        assert path.rtt_bound(6) == 0.0
+
+    def test_off_path_position(self):
+        _, path, _ = build_path(length=3)
+        with pytest.raises(ConfigurationError):
+            path.rtt_bound(7)
+
+
+class TestClockSkews:
+    def test_skews_applied(self):
+        sim = Simulator()
+        path = Path(sim, length=1, clock_skews=[0.0, 0.25])
+        nodes = [Recorder(0), Recorder(1)]
+        path.attach_nodes(nodes)
+        assert nodes[1].now - nodes[0].now == pytest.approx(0.25)
+
+    def test_skew_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            Path(Simulator(), length=2, clock_skews=[0.0])
+
+
+class TestLinkStats:
+    def test_transmission_counting(self):
+        sim, path, nodes = build_path(length=2)
+        for i in range(5):
+            nodes[0].send_forward(DataPacket.create(b"x%d" % i, float(i)))
+        sim.run()
+        link0 = path.links[0].stats
+        assert link0.transmissions[(PacketKind.DATA, Direction.FORWARD)] == 5
+        assert link0.loss_rate() == 0.0
+
+    def test_empirical_loss_rate(self):
+        sim, path, nodes = build_path(length=1, loss=0.5, seed=11)
+        for i in range(2000):
+            nodes[0].send_forward(DataPacket.create(b"%d" % i, float(i)))
+        sim.run()
+        assert abs(path.links[0].stats.loss_rate() - 0.5) < 0.05
+
+
+class TestDescribe:
+    def test_basic_topology(self):
+        sim = Simulator()
+        path = Path(sim, length=3)
+        text = path.describe()
+        assert text == "S ──l0── F1 ──l1── F2 ──l2── D"
+
+    def test_malicious_marking(self):
+        sim = Simulator()
+        path = Path(sim, length=3)
+        assert "[F2*]" in path.describe(malicious_nodes=[2])
+
+    def test_single_link(self):
+        sim = Simulator()
+        path = Path(sim, length=1)
+        assert path.describe() == "S ──l0── D"

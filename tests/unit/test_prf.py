@@ -1,0 +1,102 @@
+"""Tests for the keyed PRF."""
+
+import pytest
+
+from repro.crypto.prf import PRF
+
+
+class TestDigest:
+    def test_deterministic(self):
+        prf = PRF(b"key")
+        assert prf.digest(b"x") == prf.digest(b"x")
+
+    def test_key_separation(self):
+        assert PRF(b"key-a").digest(b"x") != PRF(b"key-b").digest(b"x")
+
+    def test_label_separation(self):
+        assert PRF(b"key", label="a").digest(b"x") != PRF(b"key", label="b").digest(b"x")
+
+    def test_label_injection_resistance(self):
+        # label="ab", data="c" must differ from label="a", data="bc": the
+        # separator byte prevents boundary ambiguity.
+        assert PRF(b"k", label="ab").digest(b"c") != PRF(b"k", label="a").digest(b"bc")
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(TypeError):
+            PRF("string-key")
+
+
+class TestInteger:
+    def test_range(self):
+        prf = PRF(b"key")
+        for i in range(200):
+            value = prf.integer(str(i).encode(), 7)
+            assert 0 <= value < 7
+
+    def test_modulus_one(self):
+        assert PRF(b"key").integer(b"x", 1) == 0
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            PRF(b"key").integer(b"x", 0)
+
+    def test_roughly_uniform(self):
+        prf = PRF(b"key")
+        counts = [0] * 4
+        trials = 4000
+        for i in range(trials):
+            counts[prf.integer(i.to_bytes(4, "big"), 4)] += 1
+        for count in counts:
+            assert abs(count - trials / 4) < 150  # ~5 sigma
+
+
+class TestFraction:
+    def test_range(self):
+        prf = PRF(b"key")
+        for i in range(200):
+            value = prf.fraction(str(i).encode())
+            assert 0.0 <= value < 1.0
+
+    def test_mean_near_half(self):
+        prf = PRF(b"key")
+        trials = 2000
+        mean = sum(prf.fraction(i.to_bytes(4, "big")) for i in range(trials)) / trials
+        assert abs(mean - 0.5) < 0.03
+
+
+class TestBernoulli:
+    @pytest.mark.parametrize("p", [0.0, 1.0])
+    def test_degenerate_probabilities(self, p):
+        prf = PRF(b"key")
+        results = {prf.bernoulli(i.to_bytes(4, "big"), p) for i in range(100)}
+        assert results == {p == 1.0}
+
+    def test_empirical_rate(self):
+        prf = PRF(b"key")
+        trials = 10000
+        hits = sum(prf.bernoulli(i.to_bytes(4, "big"), 0.2) for i in range(trials))
+        assert abs(hits / trials - 0.2) < 0.02
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            PRF(b"key").bernoulli(b"x", 1.5)
+
+
+class TestKeystream:
+    def test_length(self):
+        prf = PRF(b"key")
+        for length in (0, 1, 31, 32, 33, 100):
+            assert len(prf.keystream(b"nonce", length)) == length
+
+    def test_deterministic_in_nonce(self):
+        prf = PRF(b"key")
+        assert prf.keystream(b"n1", 64) == prf.keystream(b"n1", 64)
+        assert prf.keystream(b"n1", 64) != prf.keystream(b"n2", 64)
+
+    def test_prefix_consistency(self):
+        prf = PRF(b"key")
+        assert prf.keystream(b"n", 64)[:16] == prf.keystream(b"n", 16)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            PRF(b"key").keystream(b"n", -1)

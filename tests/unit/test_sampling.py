@@ -1,0 +1,89 @@
+"""Tests for secure sampling (PAAI-1) and selection predicates (PAAI-2)."""
+
+import collections
+
+import pytest
+
+from repro.crypto.sampling import SecureSampler, SelectionPredicate, selected_node
+from repro.exceptions import ConfigurationError
+
+
+def _identifiers(n):
+    return [i.to_bytes(8, "big") for i in range(n)]
+
+
+class TestSecureSampler:
+    def test_deterministic(self):
+        sampler = SecureSampler(b"key", 0.3)
+        ident = b"packet-id"
+        assert sampler.is_sampled(ident) == sampler.is_sampled(ident)
+
+    def test_empirical_rate(self):
+        sampler = SecureSampler(b"key", 1.0 / 36.0)
+        n = 36000
+        hits = sampler.count_sampled(_identifiers(n))
+        # Expect ~1000; allow ~4 sigma (sigma ~ 31).
+        assert abs(hits - 1000) < 140
+
+    def test_key_dependence(self):
+        a = SecureSampler(b"key-a", 0.5)
+        b = SecureSampler(b"key-b", 0.5)
+        ids = _identifiers(200)
+        assert [a.is_sampled(i) for i in ids] != [b.is_sampled(i) for i in ids]
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_invalid_probability(self, p):
+        with pytest.raises(ConfigurationError):
+            SecureSampler(b"key", p)
+
+    def test_boundary_probabilities(self):
+        ids = _identifiers(50)
+        assert SecureSampler(b"k", 0.0).count_sampled(ids) == 0
+        assert SecureSampler(b"k", 1.0).count_sampled(ids) == 50
+
+
+class TestSelectionPredicate:
+    def test_probability_formula(self):
+        d = 6
+        for i in range(1, d + 1):
+            pred = SelectionPredicate(b"k", position=i, path_length=d)
+            assert pred.probability == pytest.approx(1.0 / (d - i + 1))
+
+    def test_destination_always_sampled(self):
+        pred = SelectionPredicate(b"k", position=6, path_length=6)
+        assert all(pred.is_sampled(i.to_bytes(4, "big")) for i in range(50))
+
+    def test_invalid_position(self):
+        with pytest.raises(ConfigurationError):
+            SelectionPredicate(b"k", position=0, path_length=6)
+        with pytest.raises(ConfigurationError):
+            SelectionPredicate(b"k", position=7, path_length=6)
+
+    def test_invalid_path_length(self):
+        with pytest.raises(ConfigurationError):
+            SelectionPredicate(b"k", position=1, path_length=0)
+
+
+class TestSelectedNode:
+    def test_uniform_selection(self):
+        """Definition 1 yields a uniform selected index (the telescoping
+        product of the 1/(d-i+1) predicate probabilities)."""
+        d = 6
+        keys = [bytes([i]) * 16 for i in range(1, d + 1)]
+        counts = collections.Counter(
+            selected_node(keys, i.to_bytes(4, "big")) for i in range(6000)
+        )
+        assert set(counts) <= set(range(1, d + 1))
+        for e in range(1, d + 1):
+            # Expected 1000 each; sigma ~ 29, allow ~5 sigma.
+            assert abs(counts[e] - 1000) < 150
+
+    def test_deterministic_in_challenge(self):
+        keys = [bytes([i]) * 16 for i in range(1, 7)]
+        assert selected_node(keys, b"z") == selected_node(keys, b"z")
+
+    def test_key_list_validation(self):
+        with pytest.raises(ConfigurationError):
+            selected_node([], b"z")
+        with pytest.raises(ConfigurationError):
+            selected_node([b"k"], b"z", path_length=2)

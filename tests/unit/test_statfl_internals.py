@@ -1,0 +1,98 @@
+"""Unit tests for the statistical FL protocol's sketch internals."""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.protocols.registry import make_protocol
+from repro.protocols.statfl import _count_payload, _parse_count
+
+
+class TestCountPayload:
+    def test_roundtrip(self):
+        identifier = b"i" * 32
+        payload = _count_payload(12345, identifier)
+        assert _parse_count(payload, identifier) == 12345
+
+    def test_zero_count(self):
+        identifier = b"x" * 32
+        assert _parse_count(_count_payload(0, identifier), identifier) == 0
+
+    def test_wrong_identifier_rejected(self):
+        payload = _count_payload(7, b"a" * 32)
+        assert _parse_count(payload, b"b" * 32) is None
+
+    def test_wrong_length_rejected(self):
+        assert _parse_count(b"short", b"i" * 32) is None
+
+
+def build(seed=0, **kwargs):
+    params = ProtocolParams(path_length=4, natural_loss=0.0, alpha=0.03)
+    simulator = Simulator(seed=seed)
+    protocol = make_protocol("statfl", simulator, params, **kwargs)
+    return simulator, protocol
+
+
+class TestSketchCounting:
+    def test_counters_cumulative_and_consistent(self):
+        simulator, protocol = build(fl_sampling=0.5, interval_length=100)
+        protocol.run_traffic(count=500, rate=2000.0)
+        source = protocol.source
+        # On a lossless path every node sees every packet, so all sampled
+        # counters must agree exactly (each node samples with its own key,
+        # but counts are ~Binomial(500, 0.5)).
+        counts = [source.latest_counts.get(i) for i in range(1, 5)]
+        assert all(count is not None for count in counts)
+        for count in counts:
+            assert 180 <= count <= 320, counts
+
+    def test_survival_fractions_near_one_lossless(self):
+        _, protocol = build(fl_sampling=0.5, interval_length=100)
+        protocol.run_traffic(count=1000, rate=2000.0)
+        fractions = protocol.source.survival_fractions()
+        assert fractions[0] == 1.0
+        for value in fractions[1:]:
+            assert value == pytest.approx(1.0, abs=0.15)
+
+    def test_interval_requests_sent(self):
+        _, protocol = build(fl_sampling=0.1, interval_length=200)
+        protocol.run_traffic(count=1000, rate=2000.0)
+        # 1000 packets / 200 per interval -> ~5 requests resolved.
+        assert protocol.source._resolved_requests >= 4
+
+    def test_no_estimates_before_first_report(self):
+        _, protocol = build(fl_sampling=0.1, interval_length=10_000)
+        protocol.run_traffic(count=50, rate=2000.0)
+        assert protocol.estimates() == [0.0] * 4
+
+    def test_storage_is_constant_size(self):
+        """The whole point of statFL: nodes keep a counter, not packets."""
+        simulator, protocol = build(fl_sampling=0.5, interval_length=100)
+        node = protocol.path.nodes[1]
+        protocol.run_traffic(count=1000, rate=2000.0)
+        # Store only ever holds transient request entries.
+        assert node.store.peak <= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            build(fl_sampling=0.0)
+        with pytest.raises(ConfigurationError):
+            build(interval_length=0)
+
+
+class TestStatFLDetectionRate:
+    def test_noise_scale_matches_theory(self):
+        """Estimate noise ~ 1/sqrt(p*N): quadrupling p*N should halve the
+        spread of honest-link estimates."""
+        import statistics
+
+        def estimate_spread(packets, sampling, seed):
+            _, protocol = build(seed=seed, fl_sampling=sampling,
+                                interval_length=max(100, packets // 5))
+            protocol.run_traffic(count=packets, rate=5000.0)
+            return statistics.pstdev(protocol.estimates())
+
+        coarse = [estimate_spread(1000, 0.2, seed) for seed in range(4)]
+        fine = [estimate_spread(4000, 0.2, seed + 10) for seed in range(4)]
+        assert (sum(fine) / 4) < (sum(coarse) / 4)

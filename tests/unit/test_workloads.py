@@ -1,0 +1,179 @@
+"""Tests for traffic models, scenarios, and the report renderer."""
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import format_number, render_series, render_table
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import Scenario, paper_scenario
+from repro.workloads.traffic import ConstantRateTraffic, PoissonTraffic, drive
+
+
+class TestConstantRateTraffic:
+    def test_spacing(self):
+        times = list(ConstantRateTraffic(100.0).send_times(5))
+        assert times == pytest.approx([0.0, 0.01, 0.02, 0.03, 0.04])
+
+    def test_start_offset(self):
+        times = list(ConstantRateTraffic(10.0).send_times(2, start=5.0))
+        assert times == pytest.approx([5.0, 5.1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantRateTraffic(0.0)
+
+
+class TestPoissonTraffic:
+    def test_mean_rate(self):
+        traffic = PoissonTraffic(100.0, random.Random(1))
+        times = list(traffic.send_times(5000))
+        assert times == sorted(times)
+        duration = times[-1] - times[0]
+        assert 5000 / duration == pytest.approx(100.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonTraffic(-1.0, random.Random(0))
+
+
+class TestDrive:
+    def test_drive_runs_protocol(self):
+        from repro.protocols.registry import make_protocol
+
+        params = ProtocolParams(path_length=3, natural_loss=0.0, alpha=0.1)
+        simulator = Simulator(seed=1)
+        protocol = make_protocol("full-ack", simulator, params)
+        drive(protocol, ConstantRateTraffic(1000.0), count=50)
+        assert protocol.path.stats.data_sent == 50
+        assert protocol.path.stats.data_delivered == 50
+
+    def test_drive_with_poisson(self):
+        from repro.protocols.registry import make_protocol
+
+        params = ProtocolParams(path_length=3, natural_loss=0.0, alpha=0.1)
+        simulator = Simulator(seed=2)
+        protocol = make_protocol("full-ack", simulator, params)
+        traffic = PoissonTraffic(1000.0, simulator.rng.stream("traffic"))
+        drive(protocol, traffic, count=50)
+        assert protocol.path.stats.data_sent == 50
+
+
+class TestScenario:
+    def test_paper_scenario_defaults(self):
+        scenario = paper_scenario()
+        assert scenario.malicious_links == [4]
+        rates = scenario.forward_link_rates()
+        assert rates[4] == pytest.approx(1 - 0.99 * 0.98)
+        for link in (0, 1, 2, 3, 5):
+            assert rates[link] == pytest.approx(0.01)
+
+    def test_reverse_rates_split(self):
+        scenario = paper_scenario()
+        assert scenario.reverse_ack_rates()[4] == pytest.approx(1 - 0.99 * 0.98)
+        assert scenario.reverse_report_rates() == [0.01] * 6
+
+    def test_model_rates_triple(self):
+        scenario = paper_scenario()
+        f, b_ack, b_report = scenario.model_rates()
+        assert len(f) == len(b_ack) == len(b_report) == 6
+
+    def test_bidirectional_builds_uniform_dropper(self):
+        from repro.adversary.uniform import UniformDropper
+
+        scenario = paper_scenario(bidirectional=True)
+        adversaries = scenario.build_adversaries(Simulator(seed=1))
+        assert isinstance(adversaries[4], UniformDropper)
+
+    def test_paper_tactic_default(self):
+        from repro.adversary.paper import PaperTacticAdversary
+
+        scenario = paper_scenario()
+        adversaries = scenario.build_adversaries(Simulator(seed=1))
+        assert isinstance(adversaries[4], PaperTacticAdversary)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(malicious_nodes={0: 0.5})  # source is not intermediate
+        with pytest.raises(ConfigurationError):
+            Scenario(malicious_nodes={6: 0.5})  # destination either
+        with pytest.raises(ConfigurationError):
+            Scenario(malicious_nodes={3: 1.5})
+
+
+class TestPaperTacticAdversary:
+    def test_drops_forward_data_and_probes_only(self):
+        from repro.adversary.paper import PaperTacticAdversary
+        from repro.net.packets import (
+            AckPacket,
+            DataPacket,
+            Direction,
+            ProbePacket,
+        )
+
+        strategy = PaperTacticAdversary(1.0, random.Random(0))
+        node = object()
+        data = DataPacket.create(b"x", 0.0)
+        probe = ProbePacket.create(b"i" * 32)
+        report = AckPacket.create(b"i" * 32, b"r", origin=6, is_report=True)
+        e2e = AckPacket.create(b"i" * 32, b"r", origin=6, is_report=False)
+
+        assert strategy.process(node, data, Direction.FORWARD) is None
+        assert strategy.process(node, probe, Direction.FORWARD) is None
+        # Report acks pass untouched at egress and ingress.
+        assert strategy.process(node, report, Direction.REVERSE) is report
+        assert strategy.process_ingress(node, report, Direction.REVERSE) is report
+        # E2e acks are swallowed at ingress, passed at egress.
+        assert strategy.process_ingress(node, e2e, Direction.REVERSE) is None
+        assert strategy.process(node, e2e, Direction.REVERSE) is e2e
+
+    def test_bypass(self):
+        from repro.adversary.paper import PaperTacticAdversary
+        from repro.net.packets import DataPacket, Direction
+
+        strategy = PaperTacticAdversary(1.0, random.Random(0))
+        strategy.bypass()
+        data = DataPacket.create(b"x", 0.0)
+        assert strategy.process(object(), data, Direction.FORWARD) is data
+
+    def test_validation(self):
+        from repro.adversary.paper import PaperTacticAdversary
+
+        with pytest.raises(ConfigurationError):
+            PaperTacticAdversary(1.5, random.Random(0))
+
+
+class TestReportRendering:
+    def test_format_number(self):
+        assert format_number(None) == "N/A"
+        assert format_number("text") == "text"
+        assert format_number(0) == "0"
+        assert format_number(1500) == "1500"
+        assert format_number(1.72e7) == "1.72e+07"
+        assert format_number(0.0003) == "0.0003"
+        assert format_number(True) == "True"
+
+    def test_render_table_alignment(self):
+        text = render_table(["col", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len({line.index("value") == lines[0].index("value")
+                    for line in lines[:1]}) == 1
+        assert "long-name" in text
+
+    def test_render_table_with_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_render_series(self):
+        text = render_series("S", [(1, 0.5), (2, 0.7)], x_label="t",
+                             y_labels=["v"])
+        assert "t" in text and "v" in text
+
+    def test_render_series_empty(self):
+        assert "(no data)" in render_series("S", [])
+
+    def test_render_series_default_labels(self):
+        text = render_series("S", [(1, 2, 3)])
+        assert "y1" in text and "y2" in text
