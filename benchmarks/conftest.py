@@ -4,16 +4,76 @@ Benchmarks regenerate each paper table/figure at reduced-but-meaningful
 run counts (EXPERIMENTS.md records full-scale numbers). Heavy experiments
 run once per benchmark (``pedantic`` with a single round) so the suite
 stays in laptop budgets.
+
+Every benchmark session also writes machine-readable telemetry to
+``BENCH_observability.json`` at the repo root (overwritten per run): one
+record per benchmark with its name, measured seconds, engine events
+processed (benchmarks driven through ``once`` run under a fresh metrics
+registry), and the scale/seed knobs it ran at.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
+from repro.obs.registry import MetricsRegistry, using_registry
+
+#: Telemetry output, at the repository root next to EXPERIMENTS.md.
+BENCH_TELEMETRY_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_observability.json"
+)
+
 
 def run_once(benchmark, func, *args, **kwargs):
-    """Benchmark a heavy experiment with exactly one timed execution."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Benchmark a heavy experiment with exactly one timed execution.
+
+    The execution happens under a fresh metrics registry so the telemetry
+    file can report how many engine events the experiment processed.
+    """
+    registry = MetricsRegistry()
+
+    def instrumented(*call_args, **call_kwargs):
+        with using_registry(registry):
+            return func(*call_args, **call_kwargs)
+
+    result = benchmark.pedantic(
+        instrumented, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    benchmark.extra_info["events_processed"] = registry.counter_total(
+        "sim.events"
+    )
+    benchmark.extra_info["scale"] = (
+        kwargs.get("runs") or kwargs.get("packets") or kwargs.get("count")
+    )
+    benchmark.extra_info["seed"] = kwargs.get("seed")
+    return result
 
 
 @pytest.fixture
 def once():
     return run_once
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one telemetry record per benchmark, stable key order."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    records = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        extra = getattr(bench, "extra_info", {}) or {}
+        records.append(
+            {
+                "name": bench.name,
+                "seconds": getattr(stats, "mean", None) if stats else None,
+                "events_processed": extra.get("events_processed", 0),
+                "scale": extra.get("scale"),
+                "seed": extra.get("seed"),
+            }
+        )
+    records.sort(key=lambda record: record["name"])
+    with open(BENCH_TELEMETRY_PATH, "w") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")

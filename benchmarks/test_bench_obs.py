@@ -1,0 +1,61 @@
+"""Benchmarks of the observability layer itself.
+
+Two kinds of guards: the registry's per-operation cost (a counter inc /
+histogram observe must stay far below one HMAC), and the end-to-end
+overhead a fully active registry + trace collector adds to a wire run
+(compare against ``test_bench_wire_fullack_throughput``).
+"""
+
+from repro.net.simulator import Simulator
+from repro.obs.registry import (
+    TIME_BUCKETS,
+    MetricsRegistry,
+    using_registry,
+)
+from repro.obs.tracing import RoundTraceCollector, using_collector
+from repro.workloads.scenarios import paper_scenario
+
+
+def test_bench_counter_inc(benchmark):
+    registry = MetricsRegistry()
+    counter = registry.counter("bench.counter", label="x")
+    benchmark(counter.inc)
+    assert counter.value > 0
+
+
+def test_bench_histogram_observe(benchmark):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bench.hist", buckets=TIME_BUCKETS)
+    benchmark(histogram.observe, 3e-5)
+    assert histogram.count > 0
+
+
+def test_bench_registry_snapshot(benchmark):
+    registry = MetricsRegistry()
+    for index in range(100):
+        registry.counter("bench.family", series=str(index)).inc(index)
+    snapshot = benchmark(registry.snapshot)
+    assert len(snapshot["counters"]) == 100
+
+
+def test_bench_wire_paai1_with_observability(benchmark, once):
+    """A fully observed wire run: metrics registry + trace collector on."""
+    scenario = paper_scenario()
+
+    def run():
+        registry = MetricsRegistry()
+        collector = RoundTraceCollector()
+        with using_registry(registry), using_collector(collector):
+            simulator = Simulator(seed=0)
+            protocol = scenario.build_protocol("paai1", simulator)
+            protocol.run_traffic(count=1000, rate=1000.0)
+        return registry.counter_total("sim.events"), len(collector)
+
+    events, spans = once(benchmark, run)
+    # The run installs its own registry, shadowing the conftest one;
+    # report the inner event count in the telemetry record instead.
+    benchmark.extra_info["events_processed"] = events
+    benchmark.extra_info["scale"] = 1000
+    benchmark.extra_info["seed"] = 0
+    assert events > 0
+    assert spans == 1000

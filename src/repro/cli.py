@@ -11,9 +11,16 @@ Usage::
     python -m repro.cli report [--scale full] [--out report.txt]
     python -m repro.cli ablation {corollary1,corollary2,corollary3,
                                   incrimination,burst,window}
+    python -m repro.cli obs summary --metrics m.json --trace t.jsonl
 
 Every command prints a plain-text table; ``--json`` dumps the structured
 result instead.
+
+Observability: experiment commands accept ``--metrics-out FILE`` (metrics
+registry snapshot as JSON) and ``--trace-out FILE`` (round spans as
+JSONL). Monte-Carlo experiments (figure2, table2) have no wire packets,
+so when tracing is requested there, a companion wire run of the same
+protocol/scenario is captured on the event-driven simulator.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from repro.analysis.detection import (
@@ -64,6 +73,65 @@ def _emit(args, result) -> None:
         print(result.render() if hasattr(result, "render") else result)
 
 
+@contextmanager
+def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
+    """Activate metrics/tracing for a command when its flags ask for it.
+
+    Inside the block the fresh registry and collector are process-active,
+    so every simulator, path, crypto substrate, and agent constructed by
+    the command reports into them. On exit the requested files are
+    written. When ``wire_protocol`` is given and the command produced no
+    wire packets (a Monte-Carlo experiment), a companion wire run of that
+    protocol is captured first so the trace has real round spans.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not metrics_out and not trace_out:
+        yield None
+        return
+    _check_output_dirs(metrics_out, trace_out)
+    from repro.obs.registry import MetricsRegistry, using_registry
+    from repro.obs.tracing import RoundTraceCollector, using_collector
+
+    registry = MetricsRegistry()
+    collector = RoundTraceCollector()
+    with using_registry(registry), using_collector(collector):
+        yield registry
+        if wire_protocol is not None and len(collector) == 0:
+            from repro.obs.capture import capture_wire_run
+
+            capture = capture_wire_run(wire_protocol, seed=seed)
+            print(capture.describe(), file=sys.stderr)
+    if metrics_out:
+        registry.write_json(metrics_out)
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
+    if trace_out:
+        written = collector.write_jsonl(trace_out)
+        print(f"{written} round spans written to {trace_out}", file=sys.stderr)
+
+
+def _check_output_dirs(*paths: Optional[str]) -> None:
+    """Fail before the experiment runs, not at write time after it."""
+    for out in paths:
+        if out:
+            parent = os.path.dirname(out) or "."
+            if not os.path.isdir(parent):
+                raise SystemExit(
+                    f"error: output directory does not exist: {parent}"
+                )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", type=str, default=None, dest="metrics_out",
+        metavar="FILE", help="write a metrics-registry snapshot (JSON)",
+    )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, dest="trace_out",
+        metavar="FILE", help="write per-round tracing spans (JSONL)",
+    )
+
+
 def _cmd_table1(args) -> None:
     _emit(args, run_table1(sending_rate=args.rate))
 
@@ -73,9 +141,10 @@ def _cmd_table2(args) -> None:
 
 
 def _cmd_figure2(args) -> None:
-    result = run_figure2(
-        args.protocol, runs=args.runs, horizon=args.horizon, seed=args.seed
-    )
+    with _observability(args, wire_protocol=args.protocol, seed=args.seed):
+        result = run_figure2(
+            args.protocol, runs=args.runs, horizon=args.horizon, seed=args.seed
+        )
     if getattr(args, "json", False):
         _emit(args, result)
     else:
@@ -85,10 +154,11 @@ def _cmd_figure2(args) -> None:
 
 
 def _cmd_figure3(args) -> None:
-    _emit(
-        args,
-        run_figure3_panel(args.panel, packets=args.packets, seed=args.seed),
-    )
+    with _observability(args, seed=args.seed):
+        result = run_figure3_panel(
+            args.panel, packets=args.packets, seed=args.seed
+        )
+    _emit(args, result)
 
 
 def _cmd_example_rates(args) -> None:
@@ -135,7 +205,9 @@ def _cmd_practicality(args) -> None:
 def _cmd_comm_table(args) -> None:
     from repro.experiments.comm_table import run_comm_table
 
-    _emit(args, run_comm_table(packets=args.packets, seed=args.seed))
+    with _observability(args, seed=args.seed):
+        result = run_comm_table(packets=args.packets, seed=args.seed)
+    _emit(args, result)
 
 
 def _cmd_sweeps(args) -> None:
@@ -149,10 +221,31 @@ def _cmd_sweeps(args) -> None:
 def _cmd_report(args) -> None:
     from repro.experiments.runner import run_all
 
-    report = run_all(
-        scale=args.scale, seed=args.seed,
-        progress=lambda name: print(f"[done] {name}", flush=True),
-    )
+    from contextlib import ExitStack
+
+    _check_output_dirs(args.metrics_out, args.trace_out, args.out)
+    collector = None
+    with ExitStack() as stack:
+        if args.trace_out:
+            from repro.obs.tracing import RoundTraceCollector, using_collector
+
+            collector = RoundTraceCollector()
+            stack.enter_context(using_collector(collector))
+        report = run_all(
+            scale=args.scale, seed=args.seed,
+            progress=lambda name: print(f"[done] {name}", flush=True),
+            collect_metrics=args.metrics_out is not None,
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"experiment telemetry written to {args.metrics_out}",
+              file=sys.stderr)
+    if args.trace_out:
+        written = collector.write_jsonl(args.trace_out)
+        print(f"{written} round spans written to {args.trace_out}",
+              file=sys.stderr)
     if args.out:
         report.save(args.out)
         print(f"report written to {args.out}")
@@ -160,25 +253,38 @@ def _cmd_report(args) -> None:
         print(report.render())
 
 
+def _cmd_obs(args) -> None:
+    from repro.obs.summary import summarize_files
+
+    if args.obs_command == "summary":
+        if args.metrics is None and args.trace is None:
+            print("obs summary: need --metrics and/or --trace", file=sys.stderr)
+            raise SystemExit(2)
+        print(summarize_files(
+            metrics_path=args.metrics, trace_path=args.trace, top=args.top
+        ))
+
+
 def _cmd_ablation(args) -> None:
-    if args.name == "corollary1":
-        _emit(args, run_corollary1(seed=args.seed))
-    elif args.name == "corollary2":
-        _emit(args, run_corollary2(seed=args.seed))
-    elif args.name == "corollary3":
-        _emit(args, run_corollary3())
-    elif args.name == "incrimination":
-        _emit(args, run_incrimination(packets=args.packets, seed=args.seed))
-    elif args.name == "burst":
-        _emit(args, run_burst_loss(seed=args.seed))
-    elif args.name == "window":
-        from repro.experiments.ablations import run_window_ablation
+    with _observability(args, seed=args.seed):
+        if args.name == "corollary1":
+            _emit(args, run_corollary1(seed=args.seed))
+        elif args.name == "corollary2":
+            _emit(args, run_corollary2(seed=args.seed))
+        elif args.name == "corollary3":
+            _emit(args, run_corollary3())
+        elif args.name == "incrimination":
+            _emit(args, run_incrimination(packets=args.packets, seed=args.seed))
+        elif args.name == "burst":
+            _emit(args, run_burst_loss(seed=args.seed))
+        elif args.name == "window":
+            from repro.experiments.ablations import run_window_ablation
 
-        _emit(args, run_window_ablation(seed=args.seed))
-    elif args.name == "theorem1":
-        from repro.experiments.ablations import run_theorem1_sharpness
+            _emit(args, run_window_ablation(seed=args.seed))
+        elif args.name == "theorem1":
+            from repro.experiments.ablations import run_theorem1_sharpness
 
-        _emit(args, run_theorem1_sharpness(seed=args.seed))
+            _emit(args, run_theorem1_sharpness(seed=args.seed))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--per-link", action="store_true", dest="per_link",
                    help="also print per-link error curves (Figure 2c view)")
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_figure2)
 
     p = sub.add_parser("figure3", help="Figure 3: storage over time")
@@ -219,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_figure3)
 
     p = sub.add_parser("example-rates", help="§7.2 in-text example")
@@ -234,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=1500)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_comm_table)
 
     p = sub.add_parser(
@@ -249,6 +358,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=["quick", "full"], default="quick")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", type=str, default=None)
+    p.add_argument(
+        "--metrics-out", type=str, default=None, dest="metrics_out",
+        metavar="FILE",
+        help="write per-experiment runtime + metrics telemetry (JSON)",
+    )
+    p.add_argument(
+        "--trace-out", type=str, default=None, dest="trace_out",
+        metavar="FILE", help="write per-round tracing spans (JSONL)",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("ablation", help="Corollary / attack ablations")
@@ -260,7 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=20000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("obs", help="observability artifact tools")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    ps = obs_sub.add_parser(
+        "summary", help="summarize --metrics-out / --trace-out files"
+    )
+    ps.add_argument("--metrics", type=str, default=None, metavar="FILE",
+                    help="metrics snapshot JSON to summarize")
+    ps.add_argument("--trace", type=str, default=None, metavar="FILE",
+                    help="round-span JSONL to summarize")
+    ps.add_argument("--top", type=int, default=0,
+                    help="only show the N largest counter series")
+    ps.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -17,20 +17,35 @@ used inside onion reports.
 from __future__ import annotations
 
 import hashlib
+from time import perf_counter
 
 from repro.constants import MAC_SIZE
+from repro.obs.registry import TIME_BUCKETS, get_registry
 
 _BLOCK_SIZE = 64  # SHA-256 block size in bytes.
 _IPAD = bytes(0x36 for _ in range(_BLOCK_SIZE))
 _OPAD = bytes(0x5C for _ in range(_BLOCK_SIZE))
+
+#: (registry, calls counter, seconds histogram) — rebound when the active
+#: registry changes so instruments always land in the current one.
+_OBS_CACHE = (None, None, None)
+
+
+def _obs_instruments(registry):
+    global _OBS_CACHE
+    cached, calls, seconds = _OBS_CACHE
+    if cached is not registry:
+        calls = registry.counter("crypto.hmac.calls")
+        seconds = registry.histogram("crypto.hmac.seconds", buckets=TIME_BUCKETS)
+        _OBS_CACHE = (registry, calls, seconds)
+    return calls, seconds
 
 
 def _xor_bytes(a: bytes, b: bytes) -> bytes:
     return bytes(x ^ y for x, y in zip(a, b))
 
 
-def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """Return the full 32-byte HMAC-SHA256 of ``message`` under ``key``."""
+def _hmac_sha256(key: bytes, message: bytes) -> bytes:
     if not isinstance(key, (bytes, bytearray)):
         raise TypeError("key must be bytes")
     if not isinstance(message, (bytes, bytearray)):
@@ -41,6 +56,19 @@ def hmac_sha256(key: bytes, message: bytes) -> bytes:
     key = key.ljust(_BLOCK_SIZE, b"\x00")
     inner = hashlib.sha256(_xor_bytes(key, _IPAD) + bytes(message)).digest()
     return hashlib.sha256(_xor_bytes(key, _OPAD) + inner).digest()
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Return the full 32-byte HMAC-SHA256 of ``message`` under ``key``."""
+    registry = get_registry()
+    if not registry.enabled:
+        return _hmac_sha256(key, message)
+    calls, seconds = _obs_instruments(registry)
+    start = perf_counter()
+    digest = _hmac_sha256(key, message)
+    seconds.observe(perf_counter() - start)
+    calls.inc()
+    return digest
 
 
 def mac(key: bytes, message: bytes, size: int = MAC_SIZE) -> bytes:

@@ -22,11 +22,13 @@ Wire format of one layer::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 from repro.constants import MAC_SIZE
 from repro.crypto.mac import mac, verify_mac
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import TIME_BUCKETS, get_registry
 
 _HEADER_SIZE = 2 + 4 + 4
 
@@ -121,6 +123,14 @@ class OnionVerifier:
         if not mac_keys:
             raise ConfigurationError("verifier needs at least one key")
         self._keys = list(mac_keys)
+        registry = get_registry()
+        self._obs_calls = None
+        self._obs_seconds = None
+        if registry.enabled:
+            self._obs_calls = registry.counter("crypto.onion.verify.calls")
+            self._obs_seconds = registry.histogram(
+                "crypto.onion.verify.seconds", buckets=TIME_BUCKETS
+            )
 
     @property
     def path_length(self) -> int:
@@ -133,6 +143,15 @@ class OnionVerifier:
         a mangled report is an expected adversarial event, reflected as a
         small ``deepest_valid``.
         """
+        if self._obs_calls is None:
+            return self._verify(report)
+        start = perf_counter()
+        verdict = self._verify(report)
+        self._obs_seconds.observe(perf_counter() - start)
+        self._obs_calls.inc()
+        return verdict
+
+    def _verify(self, report: Optional[bytes]) -> OnionVerdict:
         verdict = OnionVerdict(deepest_valid=0)
         remaining = report
         expected_position = 1

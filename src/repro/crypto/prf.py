@@ -18,6 +18,7 @@ expose integer, fraction and Bernoulli output modes.
 from __future__ import annotations
 
 from repro.crypto.mac import hmac_sha256
+from repro.obs.registry import get_registry
 
 
 class PRF:
@@ -42,9 +43,17 @@ class PRF:
             raise TypeError("PRF key must be bytes")
         self._key = bytes(key)
         self._prefix = label.encode("utf-8") + b"\x00"
+        registry = get_registry()
+        self._obs_calls = (
+            registry.counter("crypto.prf.calls", label=label or "(unlabeled)")
+            if registry.enabled
+            else None
+        )
 
     def digest(self, data: bytes) -> bytes:
         """Return the raw 32-byte PRF output on ``data``."""
+        if self._obs_calls is not None:
+            self._obs_calls.inc()
         return hmac_sha256(self._key, self._prefix + bytes(data))
 
     def integer(self, data: bytes, modulus: int) -> int:

@@ -4,13 +4,18 @@
 panels and all ablations at a chosen scale, and returns (and optionally
 writes) one consolidated text report — the "reproduce the paper in one
 command" entry point behind ``python -m repro.cli report``.
+
+With ``collect_metrics=True`` every experiment additionally runs under a
+fresh :class:`~repro.obs.registry.MetricsRegistry`, and its snapshot is
+attached to the experiment's record — the machine-readable telemetry
+behind ``report --metrics-out``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments.ablations import (
     run_burst_loss,
@@ -39,6 +44,8 @@ class ExperimentRecord:
     name: str
     elapsed_seconds: float
     text: str
+    #: Metrics-registry snapshot for this experiment (``collect_metrics``).
+    metrics: Optional[dict] = None
 
 
 @dataclass
@@ -46,11 +53,24 @@ class ReproductionReport:
     """The consolidated report."""
 
     scale: str
+    seed: int = 0
     records: List[ExperimentRecord] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         return sum(record.elapsed_seconds for record in self.records)
+
+    def runtime_breakdown(self) -> List[Tuple[str, float, float]]:
+        """``(name, seconds, share_of_total)`` per experiment, slowest first."""
+        total = self.total_seconds or 1.0
+        return sorted(
+            (
+                (record.name, record.elapsed_seconds,
+                 record.elapsed_seconds / total)
+                for record in self.records
+            ),
+            key=lambda row: -row[1],
+        )
 
     def render(self) -> str:
         header = (
@@ -64,7 +84,32 @@ class ReproductionReport:
                 f"\n{'#' * 70}\n# {record.name} "
                 f"({record.elapsed_seconds:.1f}s)\n{'#' * 70}\n{record.text}"
             )
+        if self.records:
+            lines = [
+                f"  {seconds:8.1f}s  {share:6.1%}  {name}"
+                for name, seconds, share in self.runtime_breakdown()
+            ]
+            sections.append(
+                f"\n{'#' * 70}\n# Runtime breakdown\n{'#' * 70}\n"
+                + "\n".join(lines)
+            )
         return "\n".join(sections)
+
+    def to_json(self) -> dict:
+        """Machine-readable telemetry: per-experiment runtimes + metrics."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "total_seconds": self.total_seconds,
+            "experiments": [
+                {
+                    "name": record.name,
+                    "elapsed_seconds": record.elapsed_seconds,
+                    "metrics": record.metrics,
+                }
+                for record in self.records
+            ],
+        }
 
     def save(self, path: str) -> None:
         with open(path, "w") as handle:
@@ -75,22 +120,36 @@ def run_all(
     scale: str = "quick",
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    collect_metrics: bool = False,
 ) -> ReproductionReport:
-    """Regenerate everything at the given scale ('quick' or 'full')."""
+    """Regenerate everything at the given scale ('quick' or 'full').
+
+    ``collect_metrics`` runs each experiment under its own fresh metrics
+    registry and attaches the snapshot to the experiment's record.
+    """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
     settings = SCALES[scale]
-    report = ReproductionReport(scale=scale)
+    report = ReproductionReport(scale=scale, seed=seed)
 
     def record(name: str, producer: Callable[[], object]) -> None:
         started = time.time()
-        result = producer()
+        snapshot = None
+        if collect_metrics:
+            from repro.obs.registry import MetricsRegistry, using_registry
+
+            with using_registry(MetricsRegistry()) as registry:
+                result = producer()
+            snapshot = registry.snapshot()
+        else:
+            result = producer()
         text = result.render() if hasattr(result, "render") else str(result)
         report.records.append(
             ExperimentRecord(
                 name=name,
                 elapsed_seconds=time.time() - started,
                 text=text,
+                metrics=snapshot,
             )
         )
         if progress is not None:

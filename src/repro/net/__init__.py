@@ -17,13 +17,19 @@ simulator:
 * :mod:`repro.net.node` — node runtime: packet store, timers, forwarding;
 * :mod:`repro.net.path` — the linear path topology;
 * :mod:`repro.net.simulator` — the engine tying it together;
-* :mod:`repro.net.stats` — counters for packets and overhead.
+* :mod:`repro.net.stats` — counters for packets and overhead;
+* :mod:`repro.net.trace` — packet tracing over the public observer API.
+
+Observability: links accept :class:`~repro.net.link.LinkObserver`
+listeners and paths accept :class:`~repro.net.path.PathObserver`
+observers (link events plus adversarial node drops) — the supported hook
+surface that :mod:`repro.net.trace` and :mod:`repro.obs` build on.
 """
 
 from repro.net.clock import NodeClock, SimClock
 from repro.net.events import EventQueue
 from repro.net.latency import FixedLatency, UniformLatency
-from repro.net.link import Link
+from repro.net.link import Link, LinkObserver
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
 from repro.net.node import Node, PacketStore
 from repro.net.packets import (
@@ -34,7 +40,8 @@ from repro.net.packets import (
     PacketKind,
     ProbePacket,
 )
-from repro.net.path import Path
+from repro.net.path import Path, PathObserver
+from repro.net.trace import PacketTracer, TraceEvent
 from repro.net.rng import RngFactory
 from repro.net.simulator import Simulator
 from repro.net.stats import LinkStats, PathStats
@@ -46,6 +53,7 @@ __all__ = [
     "UniformLatency",
     "FixedLatency",
     "Link",
+    "LinkObserver",
     "BernoulliLoss",
     "GilbertElliottLoss",
     "NoLoss",
@@ -58,6 +66,9 @@ __all__ = [
     "ProbePacket",
     "AckPacket",
     "Path",
+    "PathObserver",
+    "PacketTracer",
+    "TraceEvent",
     "RngFactory",
     "Simulator",
     "LinkStats",

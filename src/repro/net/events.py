@@ -53,6 +53,14 @@ class EventQueue:
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.cancelled)
 
+    def size(self) -> int:
+        """O(1) heap size *including* cancelled entries.
+
+        The cheap variant the engine's ``sim.queue_depth`` gauge samples
+        every event; ``len()`` walks the heap to skip cancelled entries.
+        """
+        return len(self._heap)
+
     def schedule(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Enqueue ``action`` to fire at absolute ``time``."""
         if time < 0:

@@ -14,18 +14,76 @@ packet must reach each node after the data packet did.
 
 Links model only *natural* loss; adversarial drops happen at nodes (the
 paper emulates a compromised node that drops traffic flowing through it).
+
+Observability: links expose a **public hook API** — register a
+:class:`LinkObserver` with :meth:`Link.add_listener` to see every
+transmission, natural loss, and delivery without touching link internals
+(this replaced the old tracer's monkey-patching of ``transmit`` and
+``_receivers``). Listeners registered at any time see all subsequent
+events: the delivery callback is resolved when the packet *arrives*, not
+when it was sent. With a metrics registry active at construction, links
+also publish per-link transmission/loss/byte counters.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.net.latency import LatencyModel
 from repro.net.loss import LossModel
-from repro.net.packets import Direction, Packet
+from repro.net.packets import Direction, Packet, PacketKind
 from repro.net.stats import LinkStats
+from repro.obs.registry import get_registry
+
+
+class LinkObserver:
+    """Base class for link event listeners (all hooks default to no-ops).
+
+    Subclass and override any of the three hooks; every hook receives the
+    link itself, so one observer can watch many links.
+    """
+
+    def on_transmit(self, link: "Link", packet: Packet,
+                    direction: Direction) -> None:
+        """``packet`` entered the link (before the loss draw)."""
+
+    def on_loss(self, link: "Link", packet: Packet,
+                direction: Direction) -> None:
+        """``packet`` was consumed by natural loss on the link."""
+
+    def on_deliver(self, link: "Link", packet: Packet,
+                   direction: Direction) -> None:
+        """``packet`` is being handed to the receiving node."""
+
+
+class _LinkMetrics:
+    """Pre-bound per-link counters, one series per (kind, direction)."""
+
+    __slots__ = ("tx", "loss", "bytes")
+
+    def __init__(self, registry, index: int) -> None:
+        link = str(index)
+        self.tx = {}
+        self.loss = {}
+        self.bytes = {}
+        for kind in PacketKind:
+            for direction in Direction:
+                labels = {
+                    "link": link,
+                    "kind": kind.value,
+                    "direction": direction.value,
+                }
+                self.tx[kind, direction] = registry.counter(
+                    "net.link.transmissions", **labels
+                )
+                self.loss[kind, direction] = registry.counter(
+                    "net.link.natural_losses", **labels
+                )
+                self.bytes[kind, direction] = registry.counter(
+                    "net.link.bytes", **labels
+                )
 
 
 class Link:
@@ -58,6 +116,8 @@ class Link:
         if set(loss_models) != {Direction.FORWARD, Direction.REVERSE}:
             raise ConfigurationError("loss_models must cover both directions")
         self.index = index
+        #: Identifier of the owning path (set by Path; -1 when standalone).
+        self.path_id = -1
         self._simulator = simulator
         self._loss = loss_models
         self._latency = latency_model
@@ -71,6 +131,31 @@ class Link:
             Direction.FORWARD: None,
             Direction.REVERSE: None,
         }
+        self._listeners: List[LinkObserver] = []
+        registry = get_registry()
+        self._metrics: Optional[_LinkMetrics] = (
+            _LinkMetrics(registry, index) if registry.enabled else None
+        )
+
+    # -- hooks -------------------------------------------------------------
+
+    def add_listener(self, listener: LinkObserver) -> None:
+        """Register a :class:`LinkObserver`; adding twice is a no-op."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: LinkObserver) -> None:
+        """Unregister a listener; removing an absent one is a no-op."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @property
+    def listeners(self) -> List[LinkObserver]:
+        return list(self._listeners)
+
+    # -- wiring ------------------------------------------------------------
 
     def connect(
         self,
@@ -85,6 +170,8 @@ class Link:
         self._receivers[Direction.FORWARD] = forward_receiver
         self._receivers[Direction.REVERSE] = reverse_receiver
 
+    # -- traffic -----------------------------------------------------------
+
     def transmit(self, packet: Packet, direction: Direction) -> bool:
         """Send ``packet`` across the link.
 
@@ -93,19 +180,44 @@ class Link:
         exists for tracing; protocol code must not branch on it — real
         nodes cannot observe downstream loss.
         """
-        receiver = self._receivers[direction]
-        if receiver is None:
+        if self._receivers[direction] is None:
             raise ConfigurationError(f"link {self.index} has no {direction} receiver")
         self.stats.record_transmission(packet, direction)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.tx[packet.kind, direction].inc()
+            metrics.bytes[packet.kind, direction].inc(packet.size)
+        for listener in self._listeners:
+            listener.on_transmit(self, packet, direction)
         if self._loss[direction].is_lost(self._rng):
             self.stats.record_natural_loss(packet, direction)
+            if metrics is not None:
+                metrics.loss[packet.kind, direction].inc()
+            for listener in self._listeners:
+                listener.on_loss(self, packet, direction)
             return False
         arrival = self._simulator.now + self._latency.delay(self._rng)
         # FIFO per direction: never overtake the previous packet.
         arrival = max(arrival, self._last_arrival[direction])
         self._last_arrival[direction] = arrival
-        self._simulator.schedule_at(arrival, lambda: receiver(packet, direction))
+        def deliver() -> None:
+            self._deliver(packet, direction)
+
+        self._simulator.schedule_at(arrival, deliver)
         return True
+
+    def _deliver(self, packet: Packet, direction: Direction) -> None:
+        """Engine callback: hand ``packet`` to the receiving node.
+
+        The receiver is looked up at delivery time, so listeners and
+        re-wired endpoints installed while the packet was in flight are
+        honored.
+        """
+        for listener in self._listeners:
+            listener.on_deliver(self, packet, direction)
+        receiver = self._receivers[direction]
+        if receiver is not None:
+            receiver(packet, direction)
 
     @property
     def max_one_way_latency(self) -> float:

@@ -131,6 +131,7 @@ class Node:
                 self.path.stats.node_drop_stats(self.position).record(
                     packet, direction
                 )
+                self.path.notify_node_drop(self, packet, direction, "ingress")
                 return
             packet = processed
         self.on_packet(packet, direction)
@@ -156,6 +157,7 @@ class Node:
                 self.path.stats.node_drop_stats(self.position).record(
                     packet, direction
                 )
+                self.path.notify_node_drop(self, packet, direction, "egress")
                 return
             packet = processed
         link.transmit(packet, direction)

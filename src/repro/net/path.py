@@ -12,20 +12,41 @@ monitoring period.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.constants import DEFAULT_MAX_LINK_LATENCY
 from repro.exceptions import ConfigurationError
 from repro.net.clock import NodeClock
 from repro.net.latency import LatencyModel, UniformLatency
-from repro.net.link import Link
+from repro.net.link import Link, LinkObserver
 from repro.net.loss import BernoulliLoss, LossModel
 from repro.net.node import Node
-from repro.net.packets import Direction
+from repro.net.packets import Direction, Packet
 from repro.net.simulator import Simulator
 from repro.net.stats import PathStats
+from repro.obs import tracing
+from repro.obs.registry import get_registry
 
 LossFactory = Callable[[int, Direction], LossModel]
+
+#: Monotone path identifiers, so spans from multi-path experiments stay
+#: attributable (deterministic: ids depend only on construction order).
+_PATH_IDS = itertools.count()
+
+
+class PathObserver(LinkObserver):
+    """Link observer extended with node-level events.
+
+    Register with :meth:`Path.add_observer` to receive every link event
+    (transmit/loss/deliver on each of the path's links) plus adversarial
+    node drops. All hooks default to no-ops.
+    """
+
+    def on_node_drop(self, node: Node, packet: Packet, direction: Direction,
+                     cause: str) -> None:
+        """``node``'s adversary dropped ``packet``; ``cause`` is
+        ``"ingress"`` or ``"egress"``."""
 
 
 class Path:
@@ -61,8 +82,12 @@ class Path:
             raise ConfigurationError(f"path length must be positive, got {length}")
         self.simulator = simulator
         self.length = length
+        self.path_id = next(_PATH_IDS)
         self.stats = PathStats(length)
         self.nodes: List[Node] = []
+        self._observers: List[PathObserver] = []
+        registry = get_registry()
+        self._metrics = registry if registry.enabled else None
 
         loss_factory = _as_loss_factory(natural_loss, length)
         latency = (
@@ -93,6 +118,48 @@ class Path:
                 f"need {length + 1} clock skews, got {len(clock_skews)}"
             )
         self._clock_skews = list(clock_skews)
+
+        for link in self.links:
+            link.path_id = self.path_id
+        collector = tracing.get_collector()
+        if collector is not None:
+            collector.attach(self)
+
+    # -- observability hooks ----------------------------------------------
+
+    def add_observer(self, observer: PathObserver) -> None:
+        """Register ``observer`` on every link and for node-drop events.
+
+        Registering the same observer twice is a no-op (links enforce the
+        same idempotency), so layered tooling cannot double-count.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+        for link in self.links:
+            link.add_listener(observer)
+
+    def remove_observer(self, observer: PathObserver) -> None:
+        """Detach ``observer`` from every link and from node-drop events."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+        for link in self.links:
+            link.remove_listener(observer)
+
+    def notify_node_drop(self, node: Node, packet: Packet,
+                         direction: Direction, cause: str) -> None:
+        """Called by nodes when their adversary strategy drops a packet."""
+        if self._metrics is not None:
+            self._metrics.counter(
+                "net.node.drops",
+                node=str(node.position),
+                kind=packet.kind.value,
+                direction=direction.value,
+                cause=cause,
+            ).inc()
+        for observer in self._observers:
+            observer.on_node_drop(node, packet, direction, cause)
 
     # -- node attachment --------------------------------------------------
 

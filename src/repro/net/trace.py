@@ -2,46 +2,59 @@
 
 Debugging an AAI protocol means answering "where did this packet's round
 go wrong?" — which node saw the data packet, whether the probe overtook
-it, which hop lost the report. :class:`PacketTracer` hooks a path's links
-and records every transmission, natural loss, and delivery as a compact
-event stream that can be filtered by packet identifier.
+it, which hop lost the report. :class:`PacketTracer` subscribes to a
+path's public observer API (:meth:`repro.net.path.Path.add_observer`) and
+records every transmission, natural loss, delivery, and adversarial node
+drop as a compact event stream that can be filtered by packet identifier.
 
-Tracing is opt-in and non-invasive: it wraps link callbacks without
-changing protocol behavior, and a bounded ring buffer keeps long runs from
+Tracing is opt-in and non-invasive: it observes through supported hooks
+without changing protocol behavior (no monkey-patching — an earlier
+implementation rebound ``link.transmit`` and reached into private
+receiver tables, double-counting when installed twice and missing links
+wired up later). Installation is idempotent, :meth:`PacketTracer.uninstall`
+detaches cleanly, and a bounded ring buffer keeps long runs from
 accumulating unbounded state.
+
+For structured, per-round span export (JSONL), see
+:class:`repro.obs.tracing.RoundTraceCollector`, which builds on the same
+hook API.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.net.packets import Direction, Packet
+from repro.net.path import PathObserver
 
 
 @dataclass
 class TraceEvent:
-    """One traced link event."""
+    """One traced link or node event."""
 
     time: float
     link: int
     direction: Direction
-    kind: str  # "send", "loss", "deliver"
+    kind: str  # "send", "loss", "deliver", "drop"
     packet_kind: str
     identifier: bytes
     sequence: int
+    #: Node position for adversarial "drop" events; None for link events.
+    node: Optional[int] = None
 
     def describe(self) -> str:
         arrow = "->" if self.direction is Direction.FORWARD else "<-"
+        where = f"F{self.node}" if self.kind == "drop" else f"l{self.link}"
         return (
-            f"t={self.time * 1000:9.3f}ms l{self.link} {arrow} "
+            f"t={self.time * 1000:9.3f}ms {where} {arrow} "
             f"{self.packet_kind:<5} #{self.sequence:<6} {self.kind}"
         )
 
 
-class PacketTracer:
+class PacketTracer(PathObserver):
     """Records link-level events for a path.
 
     Parameters
@@ -57,40 +70,52 @@ class PacketTracer:
             raise ConfigurationError("capacity must be positive")
         self.path = path
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self._install()
+        self._installed = False
+        self.install()
 
-    def _install(self) -> None:
-        for link in self.path.links:
-            self._wrap_link(link)
+    # -- lifecycle ---------------------------------------------------------
 
-    def _wrap_link(self, link) -> None:
-        original_transmit = link.transmit
-        tracer = self
+    @property
+    def installed(self) -> bool:
+        return self._installed
 
-        def traced_transmit(packet: Packet, direction: Direction) -> bool:
-            tracer._record(link.index, packet, direction, "send")
-            delivered = original_transmit(packet, direction)
-            if not delivered:
-                tracer._record(link.index, packet, direction, "loss")
-            return delivered
+    def install(self) -> None:
+        """Attach to the path; calling twice never double-records."""
+        if self._installed:
+            return
+        self.path.add_observer(self)
+        self._installed = True
 
-        link.transmit = traced_transmit
-        # Wrap deliveries by intercepting the receivers at connect time;
-        # links are already connected, so wrap the stored callbacks.
-        for direction in (Direction.FORWARD, Direction.REVERSE):
-            receiver = link._receivers[direction]
-            if receiver is None:
-                continue
+    def uninstall(self) -> None:
+        """Detach from the path; recorded events remain queryable."""
+        if not self._installed:
+            return
+        self.path.remove_observer(self)
+        self._installed = False
 
-            def traced_receiver(packet, packet_direction,
-                                _receiver=receiver, _index=link.index):
-                tracer._record(_index, packet, packet_direction, "deliver")
-                _receiver(packet, packet_direction)
+    # -- observer hooks ----------------------------------------------------
 
-            link._receivers[direction] = traced_receiver
+    def on_transmit(self, link, packet: Packet, direction: Direction) -> None:
+        self._record(link.index, packet, direction, "send")
+
+    def on_loss(self, link, packet: Packet, direction: Direction) -> None:
+        self._record(link.index, packet, direction, "loss")
+
+    def on_deliver(self, link, packet: Packet, direction: Direction) -> None:
+        self._record(link.index, packet, direction, "deliver")
+
+    def on_node_drop(self, node, packet: Packet, direction: Direction,
+                     cause: str) -> None:
+        # The drop manifests on the node's adjacent link in the travel
+        # direction; record the node position alongside it.
+        if direction is Direction.FORWARD:
+            link = node.position
+        else:
+            link = node.position - 1
+        self._record(link, packet, direction, "drop", node=node.position)
 
     def _record(self, index: int, packet: Packet, direction: Direction,
-                kind: str) -> None:
+                kind: str, node: Optional[int] = None) -> None:
         self.events.append(
             TraceEvent(
                 time=self.path.simulator.now,
@@ -100,6 +125,7 @@ class PacketTracer:
                 packet_kind=packet.kind.value,
                 identifier=packet.identifier,
                 sequence=packet.sequence,
+                node=node,
             )
         )
 
@@ -114,6 +140,10 @@ class PacketTracer:
 
     def losses(self) -> List[TraceEvent]:
         return [event for event in self.events if event.kind == "loss"]
+
+    def drops(self) -> List[TraceEvent]:
+        """Adversarial node drops (requires an installed adversary)."""
+        return [event for event in self.events if event.kind == "drop"]
 
     def story(self, identifier: bytes) -> str:
         """Human-readable life of one packet round."""

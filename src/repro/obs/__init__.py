@@ -1,0 +1,64 @@
+"""Unified observability layer.
+
+Three pieces, built to the same rule — zero-cost when off, one JSON file
+when on:
+
+* :mod:`repro.obs.registry` — the process-wide **metrics registry**:
+  counters, gauges, and fixed-bucket histograms with labeled series,
+  wired into the engine, links/nodes, the crypto substrate, and every
+  protocol agent. Disabled by default (a shared no-op registry); activate
+  with :func:`using_registry` before building a simulator.
+* :mod:`repro.obs.tracing` — **round-level tracing spans** built on the
+  public path/link hook API: every link and node event of a data packet's
+  probe→ack→report lifecycle, grouped by packet identifier, exported as
+  JSONL.
+* :mod:`repro.obs.summary` / :mod:`repro.obs.capture` — loaders and
+  renderers behind the CLI's ``--metrics-out`` / ``--trace-out`` flags
+  and the ``repro obs summary`` subcommand.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog and span schema.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    SIM_LATENCY_BUCKETS,
+    TIME_BUCKETS,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    using_registry,
+)
+from repro.obs.tracing import (
+    RoundSpan,
+    RoundTraceCollector,
+    get_collector,
+    read_jsonl,
+    set_collector,
+    using_collector,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TIME_BUCKETS",
+    "SIM_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "using_registry",
+    "metrics_enabled",
+    "RoundSpan",
+    "RoundTraceCollector",
+    "get_collector",
+    "set_collector",
+    "using_collector",
+    "read_jsonl",
+]

@@ -1,0 +1,68 @@
+"""Wire-run observability capture.
+
+Some experiments (Figure 2, Table 2) run on the vectorized Monte-Carlo
+engine, which never touches the wire simulator — there are no packets to
+trace. When the CLI is asked for packet-level observability
+(``--trace-out``) on such an experiment, it captures a *companion wire
+run*: the same protocol under the same scenario on the event-driven
+simulator, with the active metrics registry and trace collector observing
+every link, node, crypto call, and agent decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.simulator import Simulator
+from repro.workloads.scenarios import Scenario, paper_scenario
+
+
+@dataclass
+class CaptureResult:
+    """Summary of one instrumented wire run."""
+
+    protocol: str
+    packets: int
+    events_processed: int
+    data_delivered: int
+    overhead_packets: int
+
+    def describe(self) -> str:
+        return (
+            f"observability capture: {self.protocol} wire run — "
+            f"{self.packets} data packets, {self.data_delivered} delivered, "
+            f"{self.overhead_packets} control packets, "
+            f"{self.events_processed} engine events"
+        )
+
+
+def capture_wire_run(
+    protocol: str,
+    scenario: Optional[Scenario] = None,
+    packets: int = 400,
+    rate: float = 1000.0,
+    seed: int = 0,
+) -> CaptureResult:
+    """Run ``protocol`` on the wire simulator under full observability.
+
+    Install the metrics registry / trace collector *before* calling (the
+    CLI does this); the run then populates both. Returns a small summary
+    for the log line.
+    """
+    if scenario is None:
+        scenario = paper_scenario()
+    simulator = Simulator(seed=seed)
+    instance = scenario.build_protocol(protocol, simulator)
+    instance.run_traffic(count=packets, rate=rate)
+    stats = instance.path.stats
+    return CaptureResult(
+        protocol=protocol,
+        packets=packets,
+        events_processed=simulator.events_processed,
+        data_delivered=stats.data_delivered,
+        overhead_packets=sum(stats.overhead_packets.values()),
+    )
+
+
+__all__ = ["CaptureResult", "capture_wire_run"]

@@ -1,0 +1,421 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The evaluation is entirely about *measuring* protocol behavior, so the
+measurement plane is a first-class subsystem: every layer (engine, links,
+nodes, crypto substrate, protocol agents) publishes metrics through one
+registry with a uniform naming scheme and labeled series, exported as JSON
+for the experiment/benchmark telemetry.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.** The default registry is a shared
+   :class:`NullRegistry` whose instruments are no-op singletons. Hot paths
+   either hold one of those no-op instruments (a method call per event) or
+   check ``registry.enabled`` (an attribute load per event) — there is no
+   locking, no string formatting, and no dict lookup on the disabled path.
+2. **Construction-time binding.** Instrumented objects fetch their
+   instrument handles once, at construction, so the per-event cost with
+   metrics enabled is a plain attribute increment. Install the registry
+   (:func:`set_registry` / :func:`using_registry`) *before* building
+   simulators and protocols.
+3. **Deterministic export.** Snapshots order series by (name, labels) so
+   two runs of the same seed produce byte-identical JSON.
+
+Metric names are dot-separated (``net.link.transmissions``); labels are
+keyword arguments with string values (``link="0", kind="data"``).
+See ``docs/OBSERVABILITY.md`` for the full metric catalog.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Default histogram buckets for wall-clock timings (seconds): roughly
+#: logarithmic from 1 microsecond to 1 second.
+TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6,
+    1e-5, 2e-5, 5e-5,
+    1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3,
+    1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1,
+    1.0,
+)
+
+#: Default buckets for simulated-time latencies (seconds): protocol rounds
+#: resolve within a few worst-case round trips, i.e. well under a minute.
+SIM_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.002, 0.005,
+    0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, store occupancy)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    observation larger than the last bound lands in the overflow bucket.
+    The histogram also tracks count/sum/min/max so exports can report a
+    mean without retaining samples.
+    """
+
+    __slots__ = ("buckets", "counts", "overflow", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(buckets=(1.0,))
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class MetricsRegistry:
+    """A collection of named, labeled metric series.
+
+    Requesting the same (name, labels) twice returns the same instrument
+    — series *merge* rather than shadow, which is what lets many links or
+    agents contribute to one aggregate series.
+    """
+
+    #: Fast-path flag: hot code checks this instead of isinstance().
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[LabelItems, Counter]] = {}
+        self._gauges: Dict[str, Dict[LabelItems, Gauge]] = {}
+        self._histograms: Dict[str, Dict[LabelItems, Histogram]] = {}
+        self._histogram_buckets: Dict[str, Tuple[float, ...]] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        family = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = family[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        family = self._gauges.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = family.get(key)
+        if instrument is None:
+            instrument = family[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = TIME_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        family = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        instrument = family.get(key)
+        if instrument is None:
+            bounds = self._histogram_buckets.setdefault(
+                name, tuple(float(b) for b in buckets)
+            )
+            instrument = family[key] = Histogram(bounds)
+        return instrument
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every series (names, labels, and values)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._histogram_buckets.clear()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s series into this registry.
+
+        Counters and histograms add; gauges take ``other``'s (newer)
+        value. Used by the experiment runner to aggregate per-experiment
+        registries into one run-level view.
+        """
+        for name, family in other._counters.items():
+            for key, counter in family.items():
+                self.counter(name, **dict(key)).inc(counter.value)
+        for name, family in other._gauges.items():
+            for key, gauge in family.items():
+                self.gauge(name, **dict(key)).set(gauge.value)
+        for name, family in other._histograms.items():
+            for key, histogram in family.items():
+                mine = self.histogram(
+                    name, buckets=histogram.buckets, **dict(key)
+                )
+                if mine.buckets != histogram.buckets:
+                    raise ConfigurationError(
+                        f"cannot merge histogram {name!r}: bucket mismatch"
+                    )
+                for index, count in enumerate(histogram.counts):
+                    mine.counts[index] += count
+                mine.overflow += histogram.overflow
+                mine.count += histogram.count
+                mine.sum += histogram.sum
+                if histogram.min is not None:
+                    mine.min = (
+                        histogram.min if mine.min is None
+                        else min(mine.min, histogram.min)
+                    )
+                if histogram.max is not None:
+                    mine.max = (
+                        histogram.max if mine.max is None
+                        else max(mine.max, histogram.max)
+                    )
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Return a JSON-serializable view of every series.
+
+        Series are sorted by (name, labels) so exports are deterministic.
+        """
+        counters = [
+            {"name": name, "labels": dict(key), "value": counter.value}
+            for name in sorted(self._counters)
+            for key, counter in sorted(self._counters[name].items())
+        ]
+        gauges = [
+            {"name": name, "labels": dict(key), "value": gauge.value}
+            for name in sorted(self._gauges)
+            for key, gauge in sorted(self._gauges[name].items())
+        ]
+        histograms = [
+            {
+                "name": name,
+                "labels": dict(key),
+                "buckets": list(histogram.buckets),
+                "counts": list(histogram.counts),
+                "overflow": histogram.overflow,
+                "count": histogram.count,
+                "sum": histogram.sum,
+                "min": histogram.min,
+                "max": histogram.max,
+            }
+            for name in sorted(self._histograms)
+            for key, histogram in sorted(self._histograms[name].items())
+        ]
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    # -- convenience lookups (tests, summaries) ----------------------------
+
+    def counter_value(self, name: str, **labels: str) -> int:
+        """Value of one counter series, 0 when absent."""
+        family = self._counters.get(name, {})
+        instrument = family.get(_label_key(labels))
+        return instrument.value if instrument is not None else 0
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter family across all label sets."""
+        return sum(c.value for c in self._counters.get(name, {}).values())
+
+
+class NullRegistry(MetricsRegistry):
+    """The default, disabled registry: every instrument is a shared no-op.
+
+    Instrumented code constructed while this registry is active pays one
+    no-op method call per event — nothing is recorded, nothing allocates.
+    """
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = TIME_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+
+#: The process-wide disabled registry (shared).
+NULL_REGISTRY = NullRegistry()
+
+
+class _ActiveState:
+    """Mutable holder so hot modules can cache one reference and still see
+    registry swaps (``_STATE.registry`` is re-read per call)."""
+
+    __slots__ = ("registry",)
+
+    def __init__(self) -> None:
+        self.registry: MetricsRegistry = NULL_REGISTRY
+
+
+_STATE = _ActiveState()
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the null registry by default)."""
+    return _STATE.registry
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` process-wide; ``None`` restores the null one.
+
+    Returns the registry that is now active. Install before constructing
+    simulators/protocols: instruments are bound at construction time.
+    """
+    _STATE.registry = registry if registry is not None else NULL_REGISTRY
+    return _STATE.registry
+
+
+@contextmanager
+def using_registry(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Context manager: install ``registry``, restore the previous on exit."""
+    previous = _STATE.registry
+    try:
+        yield set_registry(registry)
+    finally:
+        _STATE.registry = previous
+
+
+def metrics_enabled() -> bool:
+    return _STATE.registry.enabled
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "TIME_BUCKETS",
+    "SIM_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "using_registry",
+    "metrics_enabled",
+]

@@ -1,0 +1,154 @@
+"""Human-readable summaries of exported observability artifacts.
+
+Backs the ``repro obs summary`` CLI subcommand: load a metrics JSON
+(written by ``--metrics-out`` / :meth:`MetricsRegistry.write_json`) and/or
+a span JSONL (written by ``--trace-out``), and render compact text tables
+— the quick "what happened in that run" view without spelunking raw JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from typing import List, Optional, Sequence
+
+from repro.experiments.report import render_table
+
+
+def load_metrics(path: str) -> dict:
+    """Load a metrics snapshot written by ``--metrics-out``."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            raise ValueError(
+                f"{path} is not a metrics snapshot (missing {section!r})"
+            )
+    return snapshot
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def summarize_metrics(snapshot: dict, top: int = 0) -> str:
+    """Render counters, gauges, and histogram digests as text tables.
+
+    ``top`` truncates the counter table to the N largest series (0 keeps
+    everything).
+    """
+    blocks: List[str] = []
+
+    counters = sorted(
+        snapshot["counters"],
+        key=lambda entry: (-entry["value"], entry["name"]),
+    )
+    if top > 0:
+        counters = counters[:top]
+    if counters:
+        blocks.append(
+            render_table(
+                headers=["counter", "labels", "value"],
+                rows=[
+                    [entry["name"], _labels_text(entry["labels"]), entry["value"]]
+                    for entry in counters
+                ],
+                title="Counters",
+            )
+        )
+
+    if snapshot["gauges"]:
+        blocks.append(
+            render_table(
+                headers=["gauge", "labels", "value"],
+                rows=[
+                    [entry["name"], _labels_text(entry["labels"]), entry["value"]]
+                    for entry in snapshot["gauges"]
+                ],
+                title="\nGauges",
+            )
+        )
+
+    if snapshot["histograms"]:
+        rows = []
+        for entry in snapshot["histograms"]:
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    entry["name"],
+                    _labels_text(entry["labels"]),
+                    count,
+                    f"{mean:.3g}",
+                    f"{entry['min']:.3g}" if entry["min"] is not None else "N/A",
+                    f"{entry['max']:.3g}" if entry["max"] is not None else "N/A",
+                ]
+            )
+        blocks.append(
+            render_table(
+                headers=["histogram", "labels", "count", "mean", "min", "max"],
+                rows=rows,
+                title="\nHistograms",
+            )
+        )
+
+    if not blocks:
+        return "(empty metrics snapshot)"
+    return "\n".join(blocks)
+
+
+def summarize_trace(spans: Sequence[dict]) -> str:
+    """Render a span-file digest: outcomes, probe rate, span sizes."""
+    if not spans:
+        return "(no spans)"
+    outcomes = TallyCounter(span["outcome"] for span in spans)
+    probed = sum(1 for span in spans if span.get("probed"))
+    events = [len(span["events"]) for span in spans]
+    durations = [span["end"] - span["start"] for span in spans]
+    overview = render_table(
+        headers=["quantity", "value"],
+        rows=[
+            ["rounds (spans)", len(spans)],
+            ["probed rounds", probed],
+            ["events total", sum(events)],
+            ["events/span (mean)", f"{sum(events) / len(spans):.2f}"],
+            ["span duration (mean s)", f"{sum(durations) / len(spans):.4f}"],
+        ],
+        title="Trace overview",
+    )
+    outcome_table = render_table(
+        headers=["outcome", "rounds"],
+        rows=[[name, count] for name, count in outcomes.most_common()],
+        title="\nRound outcomes",
+    )
+    return "\n".join([overview, outcome_table])
+
+
+def summarize_files(
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    top: int = 0,
+) -> str:
+    """Summarize whichever artifacts were given (at least one required)."""
+    from repro.obs.tracing import read_jsonl
+
+    if metrics_path is None and trace_path is None:
+        raise ValueError("need a metrics file, a trace file, or both")
+    blocks = []
+    if metrics_path is not None:
+        blocks.append(summarize_metrics(load_metrics(metrics_path), top=top))
+    if trace_path is not None:
+        if blocks:
+            blocks.append("")
+        blocks.append(summarize_trace(read_jsonl(trace_path)))
+    return "\n".join(blocks)
+
+
+__all__ = [
+    "load_metrics",
+    "summarize_metrics",
+    "summarize_trace",
+    "summarize_files",
+]

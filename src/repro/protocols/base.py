@@ -27,6 +27,7 @@ from repro.net.node import Node
 from repro.net.packets import DataPacket, Direction, Packet, PacketKind
 from repro.net.path import Path
 from repro.net.simulator import Simulator
+from repro.obs.registry import SIM_LATENCY_BUCKETS, get_registry
 
 #: Fractional slack added to worst-case wait-timers.
 TIMER_SLACK = 0.05
@@ -51,6 +52,33 @@ class SourceAgent(Node):
         self._sequence = 0
         #: per-identifier in-flight state
         self.pending: Dict[bytes, Dict] = {}
+        # Observability instruments, labeled by protocol. With metrics
+        # disabled these are shared no-op singletons and the hot paths are
+        # additionally gated on _obs_enabled.
+        registry = get_registry()
+        self._obs_enabled = registry.enabled
+        name = protocol.name
+        self.obs_rounds = registry.counter("protocol.rounds", protocol=name)
+        self.obs_probes_sent = registry.counter(
+            "protocol.probes_sent", protocol=name
+        )
+        self.obs_acks_verified = registry.counter(
+            "protocol.acks_verified", protocol=name
+        )
+        self.obs_mac_failures = registry.counter(
+            "protocol.mac_failures", protocol=name
+        )
+        self.obs_sampling_hits = registry.counter(
+            "protocol.sampling_hits", protocol=name
+        )
+        self.obs_report_timeouts = registry.counter(
+            "protocol.report_timeouts", protocol=name
+        )
+        self.obs_round_latency = registry.histogram(
+            "protocol.round_latency_seconds",
+            buckets=SIM_LATENCY_BUCKETS,
+            protocol=name,
+        )
 
     # -- traffic -----------------------------------------------------------
 
@@ -68,6 +96,10 @@ class SourceAgent(Node):
         self.path.stats.record_data_sent(packet.size)
         self.send_forward(packet)
         self._after_send(packet)
+        if self._obs_enabled:
+            entry = self.pending.get(packet.identifier)
+            if entry is not None:
+                entry.setdefault("sent_at", packet.timestamp)
         return packet
 
     def _after_send(self, packet: DataPacket) -> None:
@@ -93,6 +125,21 @@ class SourceAgent(Node):
     def timer_with_slack(self, base: float, action) -> object:
         return self.set_timer(base * (1.0 + TIMER_SLACK), action)
 
+    def observe_round(self, entry: Optional[Dict] = None) -> None:
+        """Count a resolved observation round for the metrics registry.
+
+        When ``entry`` (the packet's popped ``pending`` record) carries a
+        ``sent_at`` stamp, the round's wall-to-resolution latency in
+        simulated seconds is recorded as well.
+        """
+        if not self._obs_enabled:
+            return
+        self.obs_rounds.inc()
+        if entry:
+            sent_at = entry.get("sent_at")
+            if sent_at is not None:
+                self.obs_round_latency.observe(self.now - sent_at)
+
 
 class ForwarderAgent(Node):
     """Base intermediate node ``F_i``."""
@@ -105,6 +152,12 @@ class ForwarderAgent(Node):
         self.params = protocol.params
         #: MAC key shared with the source.
         self.mac_key = protocol.keys.mac_key(position)
+        #: Authenticated-probe MAC failures observed at this node.
+        self.obs_mac_failures = get_registry().counter(
+            "protocol.node_mac_failures",
+            protocol=protocol.name,
+            node=str(position),
+        )
 
     def is_fresh(self, packet: DataPacket) -> bool:
         """Phase-1 timestamp check against this node's (skewed) clock."""
@@ -126,6 +179,11 @@ class DestinationAgent(Node):
         self.protocol = protocol
         self.params = protocol.params
         self.mac_key = protocol.keys.mac_key(self.position)
+        self.obs_mac_failures = get_registry().counter(
+            "protocol.node_mac_failures",
+            protocol=protocol.name,
+            node=str(self.position),
+        )
 
     def is_fresh(self, packet: DataPacket) -> bool:
         return self.clock.is_fresh(packet.timestamp, self.params.freshness_window)

@@ -64,6 +64,7 @@ class Combo1Source(SourceAgent):
             return
         identifier = packet.identifier
         self.monitor.record_sent()
+        self.obs_sampling_hits.inc()
         self.pending[identifier] = {
             "sequence": packet.sequence,
             "probed": False,
@@ -85,11 +86,14 @@ class Combo1Source(SourceAgent):
         if entry is None or entry["probed"]:
             return
         if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
+            self.obs_mac_failures.inc()
             return
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
         self.monitor.record_acknowledged()
+        self.obs_acks_verified.inc()
         self.board.record_round()  # sampled, delivered, no blame
+        self.observe_round(entry)
 
     def _on_ack_timeout(self, identifier: bytes) -> None:
         entry = self.pending.get(identifier)
@@ -99,6 +103,7 @@ class Combo1Source(SourceAgent):
         probe = build_probe(self.protocol, identifier, entry["sequence"])
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_report_timeout(identifier)
         )
@@ -113,13 +118,16 @@ class Combo1Source(SourceAgent):
         if depth < self.params.path_length:
             self.board.add(depth)
         self.board.record_round()
+        self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
         entry = self.pending.pop(identifier, None)
         if entry is None:
             return
+        self.obs_report_timeouts.inc()
         self.board.add(0)
         self.board.record_round()
+        self.observe_round(entry)
 
     # -- verdicts --------------------------------------------------------------
 

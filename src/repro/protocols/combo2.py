@@ -42,6 +42,7 @@ class Combo2Source(Paai2Source):
     def _after_send(self, packet: DataPacket) -> None:
         if not self.sampler.is_sampled(packet.identifier):
             return
+        self.obs_sampling_hits.inc()
         super()._after_send(packet)
 
 

@@ -72,11 +72,14 @@ class FullAckSource(SourceAgent):
         if entry is None or entry["probed"]:
             return
         if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
+            self.obs_mac_failures.inc()
             return  # forged/altered ack: treated as absent (drop semantics)
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
         self.monitor.record_acknowledged()
+        self.obs_acks_verified.inc()
         self.board.record_round()  # an observed round with no blame
+        self.observe_round(entry)
 
     def _on_ack_timeout(self, identifier: bytes) -> None:
         entry = self.pending.get(identifier)
@@ -86,6 +89,7 @@ class FullAckSource(SourceAgent):
         probe = build_probe(self.protocol, identifier, entry["sequence"])
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_report_timeout(identifier)
         )
@@ -100,14 +104,17 @@ class FullAckSource(SourceAgent):
         if depth < self.params.path_length:
             self.board.add(depth)
         self.board.record_round()
+        self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
         entry = self.pending.pop(identifier, None)
         if entry is None:
             return
         # Footnote 8: no report at all means the loss is at l_0.
+        self.obs_report_timeouts.inc()
         self.board.add(0)
         self.board.record_round()
+        self.observe_round(entry)
 
     # -- verdicts ------------------------------------------------------------
 

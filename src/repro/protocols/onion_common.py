@@ -125,7 +125,10 @@ class OnionForwarder(ForwarderAgent):
 
     def _on_probe(self, probe: ProbePacket) -> None:
         entry = self.store.get(probe.identifier)
-        if entry is None or entry["probed"] or not probe_hop_valid(self, probe):
+        if entry is None or entry["probed"]:
+            return
+        if not probe_hop_valid(self, probe):
+            self.obs_mac_failures.inc()
             return
         entry["probed"] = True
         entry["hold_handle"].cancel()
@@ -230,7 +233,10 @@ class OnionDestination(DestinationAgent):
 
     def _on_probe(self, probe: ProbePacket) -> None:
         entry = self.store.get(probe.identifier)
-        if entry is None or not probe_hop_valid(self, probe):
+        if entry is None:
+            return
+        if not probe_hop_valid(self, probe):
+            self.obs_mac_failures.inc()
             return
         entry["hold_handle"].cancel()
         self.store.pop(probe.identifier, self.now)

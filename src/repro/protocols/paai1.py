@@ -52,6 +52,7 @@ class Paai1Source(SourceAgent):
         identifier = packet.identifier
         sequence = packet.sequence
         self.monitor.record_sent()
+        self.obs_sampling_hits.inc()
         if self.params.probe_delay > 0:
             # Delayed sampling (§5): the probe trails the data packet by a
             # gap long enough that a withheld packet's timestamp expires
@@ -73,6 +74,7 @@ class Paai1Source(SourceAgent):
         probe = build_probe(self.protocol, identifier, sequence)
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_report_timeout(identifier)
         )
@@ -93,16 +95,20 @@ class Paai1Source(SourceAgent):
         if depth == self.params.path_length:
             # Complete onion from D: the sampled packet was delivered.
             self.monitor.record_acknowledged()
+            self.obs_acks_verified.inc()
         else:
             self.board.add(depth)
         self.board.record_round()
+        self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
         entry = self.pending.pop(identifier, None)
         if entry is None:
             return
+        self.obs_report_timeouts.inc()
         self.board.add(0)  # footnote 8
         self.board.record_round()
+        self.observe_round(entry)
 
     # -- verdicts --------------------------------------------------------------
 

@@ -97,10 +97,13 @@ class Paai2Source(SourceAgent):
         if entry is None or entry["probed"]:
             return
         if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
+            self.obs_mac_failures.inc()
             return
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
         self.monitor.record_acknowledged()
+        self.obs_acks_verified.inc()
+        self.observe_round(entry)
 
     def _on_e2e_timeout(self, identifier: bytes) -> None:
         entry = self.pending.get(identifier)
@@ -117,6 +120,7 @@ class Paai2Source(SourceAgent):
         )
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_report_timeout(identifier)
         )
@@ -133,12 +137,15 @@ class Paai2Source(SourceAgent):
             challenge=_report_challenge(ack.identifier, entry["z"]),
         )
         self._score(decoded.matches, entry["selected"])
+        self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
         entry = self.pending.pop(identifier, None)
         if entry is None:
             return
+        self.obs_report_timeouts.inc()
         self._score(False, entry["selected"])
+        self.observe_round(entry)
 
     def _score(self, matches: bool, selected: int) -> None:
         if matches:

@@ -149,11 +149,14 @@ class SigAckSource(SourceAgent):
             return
         dest = self.params.path_length
         if not self._verifiers[dest].verify(b"e2e" + ack.identifier, ack.report):
+            self.obs_mac_failures.inc()
             return
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
         self.monitor.record_acknowledged()
+        self.obs_acks_verified.inc()
         self.board.record_round()
+        self.observe_round(entry)
 
     def _on_ack_timeout(self, identifier: bytes) -> None:
         entry = self.pending.get(identifier)
@@ -163,6 +166,7 @@ class SigAckSource(SourceAgent):
         probe = ProbePacket.create(identifier, sequence=entry["sequence"])
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_report_timeout(identifier)
         )
@@ -177,12 +181,16 @@ class SigAckSource(SourceAgent):
         if depth < self.params.path_length:
             self.board.add(depth)
         self.board.record_round()
+        self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
-        if self.pending.pop(identifier, None) is None:
+        entry = self.pending.pop(identifier, None)
+        if entry is None:
             return
+        self.obs_report_timeouts.inc()
         self.board.add(0)
         self.board.record_round()
+        self.observe_round(entry)
 
     def _verify_chain(self, report: Optional[bytes], identifier: bytes) -> int:
         """Walk the signature onion outside-in; return the effective depth."""

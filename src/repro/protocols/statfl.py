@@ -210,6 +210,7 @@ class StatFLSource(SourceAgent):
         request = ProbePacket.create(identifier)
         self.path.stats.record_overhead(request)
         self.send_forward(request)
+        self.obs_probes_sent.inc()
         entry["handle"] = self.timer_with_slack(
             self.params.r0, lambda: self._on_request_timeout(identifier)
         )
@@ -221,6 +222,7 @@ class StatFLSource(SourceAgent):
         if entry["attempts"] >= self.MAX_ATTEMPTS:
             self._requests.pop(identifier)
             self._resolved_requests += 1
+            self.obs_report_timeouts.inc()
             return
         self._transmit_request(identifier)
 
@@ -247,6 +249,7 @@ class StatFLSource(SourceAgent):
             entry["handle"].cancel()
             self._requests.pop(ack.identifier)
             self._resolved_requests += 1
+            self.obs_acks_verified.inc()
 
     # -- verdicts --------------------------------------------------------------
 

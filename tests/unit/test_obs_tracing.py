@@ -1,0 +1,192 @@
+"""Tests for round-level tracing spans (repro.obs.tracing)."""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.net.simulator import Simulator
+from repro.obs.tracing import (
+    DELIVER,
+    DROP,
+    LOSS,
+    SEND,
+    RoundSpan,
+    RoundTraceCollector,
+    get_collector,
+    read_jsonl,
+    set_collector,
+    using_collector,
+)
+from repro.protocols.registry import make_protocol
+
+
+def make_span(**overrides):
+    fields = dict(
+        identifier="ab" * 32, sequence=0, path_id=0, path_length=3,
+        start=0.0,
+    )
+    fields.update(overrides)
+    return RoundSpan(**fields)
+
+
+def link_event(t, kind, packet, link, direction="forward", report=False):
+    return {
+        "t": t, "kind": kind, "packet": packet, "direction": direction,
+        "link": link, "node": None, "report": report,
+    }
+
+
+class TestRoundSpanOutcome:
+    def test_reported(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "data", 0))
+        span.add(link_event(0.1, DELIVER, "data", 2))
+        span.add(link_event(0.2, DELIVER, "ack", 0, "reverse", report=True))
+        assert span.report_returned
+        assert span.outcome() == "reported"
+
+    def test_acked(self):
+        span = make_span()
+        span.add(link_event(0.0, DELIVER, "data", 2))
+        span.add(link_event(0.1, DELIVER, "ack", 0, "reverse"))
+        assert span.acked and not span.report_returned
+        assert span.outcome() == "acked"
+
+    def test_delivered_but_unacked(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "data", 0))
+        span.add(link_event(0.1, DELIVER, "data", 2))
+        assert span.outcome() == "delivered"
+
+    def test_lost_on_link(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "data", 0))
+        span.add(link_event(0.1, LOSS, "data", 1))
+        assert span.outcome() == "lost@l1"
+
+    def test_dropped_at_node(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "data", 0))
+        span.add({
+            "t": 0.1, "kind": DROP, "packet": "data",
+            "direction": "forward", "link": None, "node": 2, "report": False,
+        })
+        assert span.outcome() == "lost@F2"
+
+    def test_in_flight(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "data", 0))
+        assert span.outcome() == "in-flight"
+
+    def test_end_tracks_last_event(self):
+        span = make_span()
+        span.add(link_event(0.5, SEND, "data", 0))
+        span.add(link_event(1.25, DELIVER, "data", 0))
+        assert span.end == 1.25
+
+    def test_to_dict_keys(self):
+        span = make_span()
+        span.add(link_event(0.0, SEND, "probe", 0))
+        data = span.to_dict()
+        assert data["probed"] is True
+        assert data["packet_kinds"] == ["probe"]
+        assert set(data) == {
+            "identifier", "sequence", "path", "start", "end",
+            "outcome", "packet_kinds", "probed", "events",
+        }
+
+
+def collected_run(count=20, natural_loss=0.0, seed=0, capacity=100_000):
+    params = ProtocolParams(
+        path_length=3, natural_loss=natural_loss, alpha=0.8
+    )
+    collector = RoundTraceCollector(capacity=capacity)
+    with using_collector(collector):
+        simulator = Simulator(seed=seed)
+        protocol = make_protocol("full-ack", simulator, params)
+    protocol.run_traffic(count=count, rate=1000.0)
+    return protocol, collector
+
+
+class TestRoundTraceCollector:
+    def test_one_span_per_data_packet(self):
+        _, collector = collected_run(count=20)
+        assert len(collector) == 20
+        assert all(
+            span.outcome() == "acked" for span in collector.spans()
+        )
+
+    def test_spans_in_start_order(self):
+        _, collector = collected_run(count=10)
+        starts = [span.start for span in collector.spans()]
+        assert starts == sorted(starts)
+
+    def test_capacity_evicts_oldest(self):
+        _, collector = collected_run(count=50, capacity=10)
+        assert len(collector) == 10
+        # At least the 40 over-capacity rounds were evicted; an evicted
+        # round whose ack is still in flight re-opens a partial span and
+        # may be evicted again, so the tally can exceed that floor.
+        assert collector.evicted >= 40
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundTraceCollector(capacity=0)
+
+    def test_span_for_identifier(self):
+        protocol, collector = collected_run(count=5)
+        span = collector.spans()[0]
+        assert collector.span_for(bytes.fromhex(span.identifier)) is span
+        assert collector.span_for(b"\x00" * 32) is None
+
+    def test_lossy_path_spans_show_losses(self):
+        _, collector = collected_run(
+            count=50, natural_loss=0.4, seed=4
+        )
+        outcomes = {span.outcome() for span in collector.spans()}
+        assert any(outcome.startswith("lost@l") for outcome in outcomes)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        _, collector = collected_run(count=10)
+        out = tmp_path / "trace.jsonl"
+        written = collector.write_jsonl(str(out))
+        assert written == 10
+        spans = read_jsonl(str(out))
+        assert len(spans) == 10
+        assert spans[0]["identifier"] == collector.spans()[0].identifier
+        assert spans[0]["events"]  # events survive the round-trip
+
+    def test_active_collector_auto_attaches_new_paths(self):
+        assert get_collector() is None
+        collector = RoundTraceCollector()
+        params = ProtocolParams(path_length=2)
+        with using_collector(collector):
+            assert get_collector() is collector
+            simulator = Simulator(seed=1)
+            protocol = make_protocol("full-ack", simulator, params)
+        # Deactivated, but already attached: traffic is still traced.
+        assert get_collector() is None
+        protocol.run_traffic(count=3, rate=1000.0)
+        assert len(collector) == 3
+
+    def test_set_collector_none_clears(self):
+        collector = RoundTraceCollector()
+        set_collector(collector)
+        assert get_collector() is collector
+        set_collector(None)
+        assert get_collector() is None
+
+    def test_collection_does_not_change_behavior(self):
+        params = ProtocolParams(path_length=3, natural_loss=0.2, alpha=0.5)
+
+        def run(collected):
+            simulator = Simulator(seed=9)
+            if collected:
+                with using_collector(RoundTraceCollector()):
+                    protocol = make_protocol("full-ack", simulator, params)
+            else:
+                protocol = make_protocol("full-ack", simulator, params)
+            protocol.run_traffic(count=100, rate=1000.0)
+            return protocol.board.scores
+
+        assert run(collected=True) == run(collected=False)

@@ -89,3 +89,47 @@ class TestTracing:
         protocol = make_protocol("full-ack", simulator, params)
         with pytest.raises(ConfigurationError):
             PacketTracer(protocol.path, capacity=0)
+
+
+class TestInstallLifecycle:
+    def make(self):
+        params = ProtocolParams(path_length=2)
+        simulator = Simulator(seed=0)
+        protocol = make_protocol("full-ack", simulator, params)
+        tracer = PacketTracer(protocol.path)
+        return protocol, tracer
+
+    def test_double_install_never_double_records(self):
+        protocol, tracer = self.make()
+        assert tracer.installed
+        tracer.install()  # idempotent: must not register a second hook
+        protocol.run_traffic(count=1, rate=1000.0)
+        sends = [e for e in tracer.events if e.kind == "send"]
+        # Data forward over 2 links + ack back over 2 links, once each.
+        assert len(sends) == 4
+
+    def test_uninstall_stops_recording(self):
+        protocol, tracer = self.make()
+        protocol.run_traffic(count=1, rate=1000.0)
+        recorded = len(tracer)
+        tracer.uninstall()
+        assert not tracer.installed
+        protocol.run_traffic(count=5, rate=1000.0)
+        # Events recorded before uninstall remain queryable, nothing new.
+        assert len(tracer) == recorded
+        tracer.uninstall()  # second uninstall is a no-op
+
+    def test_reinstall_resumes_recording(self):
+        protocol, tracer = self.make()
+        tracer.uninstall()
+        protocol.run_traffic(count=1, rate=1000.0)
+        assert len(tracer) == 0
+        tracer.install()
+        protocol.run_traffic(count=1, rate=1000.0)
+        assert len(tracer) > 0
+
+    def test_two_tracers_record_independently(self):
+        protocol, tracer = self.make()
+        second = PacketTracer(protocol.path)
+        protocol.run_traffic(count=2, rate=1000.0)
+        assert len(tracer) == len(second) > 0
