@@ -13,6 +13,7 @@ registry), and the scale/seed knobs it ran at.
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,11 @@ from repro.obs.registry import MetricsRegistry, using_registry
 #: Telemetry output, at the repository root next to EXPERIMENTS.md.
 BENCH_TELEMETRY_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_observability.json"
+)
+
+#: Parallel-engine telemetry: serial-vs-parallel wall clock + speedups.
+BENCH_PARALLEL_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_parallel.json"
 )
 
 
@@ -55,25 +61,66 @@ def once():
     return run_once
 
 
+def _write_parallel_telemetry(parallel_records):
+    """``BENCH_parallel.json``: per-configuration wall clock plus the
+    speedup of every parallel configuration over its serial (jobs=1)
+    baseline at the same scale. ``cpu_count`` is recorded because the
+    speedup is only meaningful relative to the cores available."""
+    parallel_records.sort(
+        key=lambda record: (record["scale"] or "", record["jobs"] or 0)
+    )
+    baselines = {
+        record["scale"]: record["seconds"]
+        for record in parallel_records
+        if record["jobs"] == 1 and record["seconds"]
+    }
+    for record in parallel_records:
+        baseline = baselines.get(record["scale"])
+        record["speedup_vs_serial"] = (
+            round(baseline / record["seconds"], 3)
+            if baseline and record["seconds"] else None
+        )
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "records": parallel_records,
+    }
+    with open(BENCH_PARALLEL_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write one telemetry record per benchmark, stable key order."""
+    """Write one telemetry record per benchmark, stable key order.
+
+    Benchmarks that declare a ``jobs`` worker count (the parallel-engine
+    suite) split out into ``BENCH_parallel.json``; everything else lands
+    in ``BENCH_observability.json`` as before.
+    """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not getattr(bench_session, "benchmarks", None):
         return
     records = []
+    parallel_records = []
     for bench in bench_session.benchmarks:
         stats = getattr(bench, "stats", None)
         extra = getattr(bench, "extra_info", {}) or {}
-        records.append(
-            {
-                "name": bench.name,
-                "seconds": getattr(stats, "mean", None) if stats else None,
-                "events_processed": extra.get("events_processed", 0),
-                "scale": extra.get("scale"),
-                "seed": extra.get("seed"),
-            }
-        )
-    records.sort(key=lambda record: record["name"])
-    with open(BENCH_TELEMETRY_PATH, "w") as handle:
-        json.dump(records, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        record = {
+            "name": bench.name,
+            "seconds": getattr(stats, "mean", None) if stats else None,
+            "scale": extra.get("scale"),
+            "seed": extra.get("seed"),
+        }
+        if "jobs" in extra:
+            record["jobs"] = extra["jobs"]
+            record["experiments"] = extra.get("experiments")
+            parallel_records.append(record)
+        else:
+            record["events_processed"] = extra.get("events_processed", 0)
+            records.append(record)
+    if records:
+        records.sort(key=lambda record: record["name"])
+        with open(BENCH_TELEMETRY_PATH, "w") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if parallel_records:
+        _write_parallel_telemetry(parallel_records)

@@ -79,10 +79,17 @@ def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
 
     Inside the block the fresh registry and collector are process-active,
     so every simulator, path, crypto substrate, and agent constructed by
-    the command reports into them. On exit the requested files are
-    written. When ``wire_protocol`` is given and the command produced no
-    wire packets (a Monte-Carlo experiment), a companion wire run of that
-    protocol is captured first so the trace has real round spans.
+    the command reports into them. The requested files are written on the
+    way out **even when the experiment raises** — the partial snapshot is
+    marked ``"status": "failed"``, because telemetry matters most exactly
+    when a run crashes.
+
+    When ``wire_protocol`` is given and the command produced no wire
+    packets (a Monte-Carlo experiment), a companion wire run of that
+    protocol is captured so the trace has real round spans. The companion
+    runs under its *own* registry — its counters land in the snapshot's
+    ``"companion_wire_run"`` section, never mixed into the experiment's
+    metrics.
     """
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
@@ -95,19 +102,37 @@ def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
 
     registry = MetricsRegistry()
     collector = RoundTraceCollector()
-    with using_registry(registry), using_collector(collector):
-        yield registry
-        if wire_protocol is not None and len(collector) == 0:
-            from repro.obs.capture import capture_wire_run
+    failed = False
+    companion_snapshot = None
+    try:
+        with using_registry(registry), using_collector(collector):
+            yield registry
+            if wire_protocol is not None and len(collector) == 0:
+                from repro.obs.capture import capture_wire_run
 
-            capture = capture_wire_run(wire_protocol, seed=seed)
-            print(capture.describe(), file=sys.stderr)
-    if metrics_out:
-        registry.write_json(metrics_out)
-        print(f"metrics written to {metrics_out}", file=sys.stderr)
-    if trace_out:
-        written = collector.write_jsonl(trace_out)
-        print(f"{written} round spans written to {trace_out}", file=sys.stderr)
+                companion_registry = MetricsRegistry()
+                with using_registry(companion_registry):
+                    capture = capture_wire_run(wire_protocol, seed=seed)
+                companion_snapshot = companion_registry.snapshot()
+                print(capture.describe(), file=sys.stderr)
+    except BaseException:
+        failed = True
+        raise
+    finally:
+        if metrics_out:
+            payload = registry.snapshot()
+            payload["status"] = "failed" if failed else "ok"
+            if companion_snapshot is not None:
+                payload["companion_wire_run"] = companion_snapshot
+            with open(metrics_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            note = " (partial: run failed)" if failed else ""
+            print(f"metrics written to {metrics_out}{note}", file=sys.stderr)
+        if trace_out:
+            written = collector.write_jsonl(trace_out)
+            print(f"{written} round spans written to {trace_out}",
+                  file=sys.stderr)
 
 
 def _check_output_dirs(*paths: Optional[str]) -> None:
@@ -137,13 +162,14 @@ def _cmd_table1(args) -> None:
 
 
 def _cmd_table2(args) -> None:
-    _emit(args, run_table2(runs=args.runs, seed=args.seed))
+    _emit(args, run_table2(runs=args.runs, seed=args.seed, jobs=args.jobs))
 
 
 def _cmd_figure2(args) -> None:
     with _observability(args, wire_protocol=args.protocol, seed=args.seed):
         result = run_figure2(
-            args.protocol, runs=args.runs, horizon=args.horizon, seed=args.seed
+            args.protocol, runs=args.runs, horizon=args.horizon,
+            seed=args.seed, jobs=args.jobs,
         )
     if getattr(args, "json", False):
         _emit(args, result)
@@ -223,7 +249,14 @@ def _cmd_report(args) -> None:
 
     from contextlib import ExitStack
 
-    _check_output_dirs(args.metrics_out, args.trace_out, args.out)
+    _check_output_dirs(args.metrics_out, args.trace_out, args.out, args.resume)
+    jobs = args.jobs
+    if args.trace_out and jobs != 1:
+        # Round spans live in the workers' process-local collectors and
+        # are not shipped back; tracing forces a serial report.
+        print("--trace-out requires a serial report; forcing --jobs 1",
+              file=sys.stderr)
+        jobs = 1
     collector = None
     with ExitStack() as stack:
         if args.trace_out:
@@ -235,6 +268,8 @@ def _cmd_report(args) -> None:
             scale=args.scale, seed=args.seed,
             progress=lambda name: print(f"[done] {name}", flush=True),
             collect_metrics=args.metrics_out is not None,
+            jobs=jobs,
+            resume_path=args.resume,
         )
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -305,6 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="Table 2: theory vs simulation")
     p.add_argument("--runs", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the Monte-Carlo shards "
+                        "(0 = all cores; output is identical for any value)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_table2)
 
@@ -315,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=2000)
     p.add_argument("--horizon", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the Monte-Carlo shards "
+                        "(0 = all cores; output is identical for any value)")
     p.add_argument("--per-link", action="store_true", dest="per_link",
                    help="also print per-link error curves (Figure 2c view)")
     p.add_argument("--json", action="store_true")
@@ -355,8 +396,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "report", help="regenerate every table/figure into one report"
     )
-    p.add_argument("--scale", choices=["quick", "full"], default="quick")
+    p.add_argument("--scale", choices=["smoke", "quick", "full"],
+                   default="quick")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the report's experiments "
+                        "(0 = all cores; the report is identical for any "
+                        "value, only runtimes differ)")
+    p.add_argument("--resume", type=str, default=None, metavar="FILE",
+                   help="checkpoint file: skip experiments already recorded "
+                        "there and persist each newly finished experiment "
+                        "immediately")
     p.add_argument("--out", type=str, default=None)
     p.add_argument(
         "--metrics-out", type=str, default=None, dest="metrics_out",

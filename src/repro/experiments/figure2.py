@@ -101,9 +101,15 @@ def run_figure2(
     runs: int = 2000,
     horizon: Optional[int] = None,
     seed: int = 0,
+    shards: Optional[int] = None,
+    jobs: int = 1,
 ) -> Figure2Result:
     """Regenerate one Figure 2 panel (a: full-ack, b: paai1, c: paai2; the
-    harness accepts any registry protocol for extension studies)."""
+    harness accepts any registry protocol for extension studies).
+
+    ``jobs`` fans the Monte-Carlo shards over a process pool; the panel
+    is identical for every ``jobs`` value at the same seed.
+    """
     if scenario is None:
         scenario = paper_scenario()
     if horizon is None:
@@ -112,11 +118,12 @@ def run_figure2(
         except KeyError:
             raise ConfigurationError(f"no default horizon for {protocol!r}")
     experiment = DetectionExperiment(
-        protocol, scenario, runs=runs, horizon=horizon, seed=seed
+        protocol, scenario, runs=runs, horizon=horizon, seed=seed,
+        shards=shards,
     )
     return Figure2Result(
         protocol=protocol,
-        detection=experiment.run(),
+        detection=experiment.run(jobs=jobs),
         theory_bound_packets=detection_packets(protocol, scenario.params),
         sigma=scenario.params.sigma,
     )

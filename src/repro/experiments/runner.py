@@ -5,18 +5,35 @@ panels and all ablations at a chosen scale, and returns (and optionally
 writes) one consolidated text report — the "reproduce the paper in one
 command" entry point behind ``python -m repro.cli report``.
 
-With ``collect_metrics=True`` every experiment additionally runs under a
-fresh :class:`~repro.obs.registry.MetricsRegistry`, and its snapshot is
-attached to the experiment's record — the machine-readable telemetry
-behind ``report --metrics-out``.
+The report decomposes into independent :class:`ExperimentSpec` tasks
+(name + module-level callable + fully resolved kwargs), which is what
+makes three things possible:
+
+* **parallel execution** — ``jobs > 1`` fans the specs over a process
+  pool (:mod:`repro.parallel`); every experiment seeds itself from the
+  report seed, so the assembled report is identical for every ``jobs``
+  value (only the runtime lines differ);
+* **worker telemetry** — with ``collect_metrics=True`` each task runs
+  under its own fresh :class:`~repro.obs.registry.MetricsRegistry`
+  (in-process or in a worker) and ships the snapshot back; snapshots
+  attach to the records and fold into one run-level view via
+  :meth:`MetricsRegistry.merge` (:meth:`ReproductionReport.merged_metrics`);
+* **checkpoint/resume** — with ``resume_path`` set, finished experiments
+  append to a checkpoint JSON as they complete, and a rerun skips every
+  experiment already recorded there (``report --resume``).
+
+See ``docs/PARALLEL.md`` for the execution model.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.exceptions import ConfigurationError
 from repro.experiments.ablations import (
     run_burst_loss,
     run_corollary1,
@@ -28,13 +45,22 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3_panel
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
+from repro.parallel.engine import run_tasks_completed
 
-#: Scale presets: (table2 runs, figure2 runs, figure3/ablation packets).
+#: Scale presets: (table2 runs, figure2 runs, figure3 packets, ablation
+#: packets). ``abl_packets`` feeds every packet-driven ablation —
+#: Corollaries 1-2, the incrimination attack, and the burst-loss probe.
 SCALES = {
+    "smoke": {"runs": 60, "fig2_runs": 100, "packets": 400,
+              "abl_packets": 1200},
     "quick": {"runs": 300, "fig2_runs": 500, "packets": 2000, "abl_packets": 8000},
     "full": {"runs": 5000, "fig2_runs": 10_000, "packets": 2000,
              "abl_packets": 30_000},
 }
+
+#: Checkpoint-file header (see ``docs/PARALLEL.md`` for the format).
+CHECKPOINT_FORMAT = "repro-report-checkpoint"
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -48,12 +74,101 @@ class ExperimentRecord:
     metrics: Optional[dict] = None
 
 
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One independent unit of report work.
+
+    ``task`` must be a module-level callable (specs cross process
+    boundaries by reference) and ``kwargs`` fully resolved plain data —
+    workers never consult :data:`SCALES` themselves.
+    """
+
+    name: str
+    task: Callable[..., object]
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def build_specs(scale: str, seed: int = 0) -> List[ExperimentSpec]:
+    """The report's experiment list at ``scale``, in canonical order."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}")
+    settings = SCALES[scale]
+    specs = [
+        ExperimentSpec("Table 1", run_table1),
+        ExperimentSpec(
+            "Table 2", run_table2, {"runs": settings["runs"], "seed": seed}
+        ),
+    ]
+    for protocol in ("full-ack", "paai1", "paai2"):
+        specs.append(
+            ExperimentSpec(
+                f"Figure 2 ({protocol})",
+                run_figure2,
+                {"protocol": protocol, "runs": settings["fig2_runs"],
+                 "seed": seed},
+            )
+        )
+    for panel in ("a", "b", "c"):
+        specs.append(
+            ExperimentSpec(
+                f"Figure 3 (panel {panel})",
+                run_figure3_panel,
+                {"panel": panel, "packets": settings["packets"], "seed": seed},
+            )
+        )
+    specs.extend(
+        [
+            ExperimentSpec(
+                "Ablation: Corollary 1",
+                run_corollary1,
+                {"packets": settings["abl_packets"], "seed": seed},
+            ),
+            ExperimentSpec(
+                "Ablation: Corollary 2",
+                run_corollary2,
+                {"packets": settings["abl_packets"], "seed": seed},
+            ),
+            ExperimentSpec("Ablation: Corollary 3", run_corollary3),
+            ExperimentSpec(
+                "Ablation: incrimination (footnote 6)",
+                run_incrimination,
+                {"packets": settings["abl_packets"], "seed": seed},
+            ),
+            ExperimentSpec(
+                "Ablation: burst loss",
+                run_burst_loss,
+                {"packets": settings["abl_packets"], "seed": seed},
+            ),
+        ]
+    )
+    return specs
+
+
+def _execute_spec(payload: Tuple) -> ExperimentRecord:
+    """Run one spec — in-process or in a pool worker — into a record."""
+    name, task, kwargs, collect_metrics = payload
+    from repro.parallel.engine import call_with_metrics
+
+    started = time.time()
+    result, snapshot = call_with_metrics(
+        lambda: task(**kwargs), collect_metrics
+    )
+    text = result.render() if hasattr(result, "render") else str(result)
+    return ExperimentRecord(
+        name=name,
+        elapsed_seconds=time.time() - started,
+        text=text,
+        metrics=snapshot,
+    )
+
+
 @dataclass
 class ReproductionReport:
     """The consolidated report."""
 
     scale: str
     seed: int = 0
+    jobs: int = 1
     records: List[ExperimentRecord] = field(default_factory=list)
 
     @property
@@ -95,11 +210,30 @@ class ReproductionReport:
             )
         return "\n".join(sections)
 
+    def merged_metrics(self) -> Optional[dict]:
+        """Fold every per-experiment snapshot into one run-level snapshot.
+
+        Counters and histograms add across experiments; the merge is
+        associative, so serial and parallel runs of the same seed produce
+        the same run-level totals. ``None`` when no record carries
+        metrics.
+        """
+        from repro.obs.registry import MetricsRegistry
+
+        snapshots = [r.metrics for r in self.records if r.metrics is not None]
+        if not snapshots:
+            return None
+        merged = MetricsRegistry()
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        return merged.snapshot()
+
     def to_json(self) -> dict:
         """Machine-readable telemetry: per-experiment runtimes + metrics."""
         return {
             "scale": self.scale,
             "seed": self.seed,
+            "jobs": self.jobs,
             "total_seconds": self.total_seconds,
             "experiments": [
                 {
@@ -109,6 +243,7 @@ class ReproductionReport:
                 }
                 for record in self.records
             ],
+            "merged_metrics": self.merged_metrics(),
         }
 
     def save(self, path: str) -> None:
@@ -116,70 +251,114 @@ class ReproductionReport:
             handle.write(self.render())
 
 
+# -- checkpoint / resume ----------------------------------------------------
+
+
+def load_checkpoint(path: str, scale: str, seed: int) -> Dict[str, ExperimentRecord]:
+    """Records from a prior partial report, keyed by experiment name.
+
+    Returns ``{}`` when ``path`` does not exist. A file that is not a
+    report checkpoint, or one written at a different scale/seed, raises
+    :class:`ConfigurationError` — resuming across configurations would
+    silently mix incomparable results.
+    """
+    if not os.path.exists(path):
+        return {}
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not a report checkpoint "
+            f"(missing format={CHECKPOINT_FORMAT!r})"
+        )
+    if payload.get("scale") != scale or payload.get("seed") != seed:
+        raise ConfigurationError(
+            f"checkpoint {path} was written at scale={payload.get('scale')!r} "
+            f"seed={payload.get('seed')!r}; cannot resume at scale={scale!r} "
+            f"seed={seed!r}"
+        )
+    return {
+        entry["name"]: ExperimentRecord(
+            name=entry["name"],
+            elapsed_seconds=entry["elapsed_seconds"],
+            text=entry["text"],
+            metrics=entry.get("metrics"),
+        )
+        for entry in payload.get("records", [])
+    }
+
+
+def write_checkpoint(
+    path: str,
+    scale: str,
+    seed: int,
+    specs: List[ExperimentSpec],
+    completed: Dict[str, ExperimentRecord],
+) -> None:
+    """Atomically persist the completed records (in canonical spec order)."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "records": [
+            {
+                "name": record.name,
+                "elapsed_seconds": record.elapsed_seconds,
+                "text": record.text,
+                "metrics": record.metrics,
+            }
+            for record in (
+                completed[spec.name] for spec in specs
+                if spec.name in completed
+            )
+        ],
+    }
+    staging = f"{path}.tmp"
+    with open(staging, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(staging, path)
+
+
+# -- entry point ------------------------------------------------------------
+
+
 def run_all(
     scale: str = "quick",
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
     collect_metrics: bool = False,
+    jobs: int = 1,
+    resume_path: Optional[str] = None,
 ) -> ReproductionReport:
-    """Regenerate everything at the given scale ('quick' or 'full').
+    """Regenerate everything at the given scale ('smoke', 'quick', 'full').
 
     ``collect_metrics`` runs each experiment under its own fresh metrics
     registry and attaches the snapshot to the experiment's record.
+    ``jobs`` fans the experiments over a process pool; the assembled
+    report is identical to a serial run apart from measured runtimes.
+    ``resume_path`` names a checkpoint file: experiments already recorded
+    there are skipped, and every newly finished experiment is persisted
+    to it immediately (so a crashed report resumes where it stopped).
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
-    settings = SCALES[scale]
-    report = ReproductionReport(scale=scale, seed=seed)
-
-    def record(name: str, producer: Callable[[], object]) -> None:
-        started = time.time()
-        snapshot = None
-        if collect_metrics:
-            from repro.obs.registry import MetricsRegistry, using_registry
-
-            with using_registry(MetricsRegistry()) as registry:
-                result = producer()
-            snapshot = registry.snapshot()
-        else:
-            result = producer()
-        text = result.render() if hasattr(result, "render") else str(result)
-        report.records.append(
-            ExperimentRecord(
-                name=name,
-                elapsed_seconds=time.time() - started,
-                text=text,
-                metrics=snapshot,
-            )
-        )
+    specs = build_specs(scale, seed)
+    completed: Dict[str, ExperimentRecord] = {}
+    if resume_path:
+        completed = load_checkpoint(resume_path, scale=scale, seed=seed)
+    pending = [spec for spec in specs if spec.name not in completed]
+    payloads = [
+        (spec.name, spec.task, dict(spec.kwargs), collect_metrics)
+        for spec in pending
+    ]
+    for _, record in run_tasks_completed(_execute_spec, payloads, jobs=jobs):
+        completed[record.name] = record
+        if resume_path:
+            write_checkpoint(resume_path, scale, seed, specs, completed)
         if progress is not None:
-            progress(name)
-
-    record("Table 1", run_table1)
-    record(
-        "Table 2",
-        lambda: run_table2(runs=settings["runs"], seed=seed),
-    )
-    for protocol in ("full-ack", "paai1", "paai2"):
-        record(
-            f"Figure 2 ({protocol})",
-            lambda protocol=protocol: run_figure2(
-                protocol, runs=settings["fig2_runs"], seed=seed
-            ),
-        )
-    for panel in ("a", "b", "c"):
-        record(
-            f"Figure 3 (panel {panel})",
-            lambda panel=panel: run_figure3_panel(
-                panel, packets=settings["packets"], seed=seed
-            ),
-        )
-    record("Ablation: Corollary 1", lambda: run_corollary1(seed=seed))
-    record("Ablation: Corollary 2", lambda: run_corollary2(seed=seed))
-    record("Ablation: Corollary 3", run_corollary3)
-    record(
-        "Ablation: incrimination (footnote 6)",
-        lambda: run_incrimination(packets=settings["abl_packets"], seed=seed),
-    )
-    record("Ablation: burst loss", lambda: run_burst_loss(seed=seed))
+            progress(record.name)
+    report = ReproductionReport(scale=scale, seed=seed, jobs=jobs)
+    report.records = [completed[spec.name] for spec in specs]
     return report

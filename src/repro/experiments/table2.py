@@ -83,7 +83,13 @@ class Table2Result:
 
 
 def _average_detection_minutes(
-    protocol: str, scenario: Scenario, runs: int, seed: int, sending_rate: float
+    protocol: str,
+    scenario: Scenario,
+    runs: int,
+    seed: int,
+    sending_rate: float,
+    shards: Optional[int] = None,
+    jobs: int = 1,
 ) -> float:
     experiment = DetectionExperiment(
         protocol,
@@ -91,8 +97,9 @@ def _average_detection_minutes(
         runs=runs,
         horizon=_DETECTION_HORIZONS[protocol],
         seed=seed,
+        shards=shards,
     )
-    packets = experiment.run().average_detection_packets()
+    packets = experiment.run(jobs=jobs).average_detection_packets()
     return packets / sending_rate / 60.0
 
 
@@ -120,8 +127,14 @@ def run_table2(
     runs: int = 1000,
     storage_packets: int = 2000,
     seed: int = 0,
+    shards: Optional[int] = None,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Regenerate Table 2 (bounds + averages)."""
+    """Regenerate Table 2 (bounds + averages).
+
+    ``jobs`` fans the Monte-Carlo shards of the detection averages over a
+    process pool; the result is identical for every ``jobs`` value.
+    """
     if params is None:
         params = ProtocolParams()
     scenario = paper_scenario(params=params)
@@ -149,7 +162,8 @@ def run_table2(
                 protocol=protocol,
                 detection_bound_minutes=bound_minutes,
                 detection_average_minutes=_average_detection_minutes(
-                    protocol, scenario, runs, seed, sending_rate
+                    protocol, scenario, runs, seed, sending_rate,
+                    shards=shards, jobs=jobs,
                 ),
                 storage_bound_packets=bound_storage,
                 storage_average_packets=_average_storage_packets(

@@ -12,20 +12,46 @@ The statistical FL baseline has no per-round category distribution; its
 runs are simulated by binomial thinning of per-node arrival counts plus
 binomial counter sampling — again exact with respect to the wire
 semantics, up to report-collection staleness of at most one interval.
+
+Run batches **shard**: the runs split into contiguous chunks of at most
+:data:`DEFAULT_SHARD_RUNS`, each chunk seeded independently from the root
+seed via :func:`repro.parallel.shard_seed`, and the chunk results are
+concatenated in shard order. The decomposition depends only on
+``(runs, shards)`` — never on worker count — so ``run(jobs=N)`` produces
+byte-identical output for every ``N``, and a sharded batch can fan out
+over a process pool for free.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.metrics.confusion import FpFnCurve, curve_from_convictions
 from repro.metrics.convergence import first_exact_round
+from repro.parallel.engine import run_tasks, shard_seed, shard_sizes
 from repro.protocols import models
 from repro.workloads.scenarios import Scenario
+
+#: Target runs per shard: small enough that full-scale batches decompose
+#: into many parallelizable chunks, large enough that batches at or below
+#: this size take the single-shard path (identical to the historical
+#: single-generator behavior).
+DEFAULT_SHARD_RUNS = 256
+
+
+def resolve_shards(runs: int, shards: Optional[int] = None) -> int:
+    """Shard count for a batch: explicit, or ``ceil(runs / 256)`` by
+    default. Deterministic in ``runs`` alone — worker count never enters."""
+    if shards is None:
+        return max(1, math.ceil(runs / DEFAULT_SHARD_RUNS))
+    if shards <= 0:
+        raise ConfigurationError(f"shards must be positive, got {shards}")
+    return min(shards, runs)
 
 
 def default_checkpoints(horizon: int, points: int = 30) -> List[int]:
@@ -111,6 +137,10 @@ class DetectionExperiment:
         Seed for the numpy generator.
     fl_sampling / fl_interval:
         Statistical FL parameters (ignored for other protocols).
+    shards:
+        Number of independently seeded run chunks; ``None`` (default)
+        resolves via :func:`resolve_shards`. A single shard reproduces
+        the historical single-generator behavior exactly.
     """
 
     def __init__(
@@ -122,6 +152,7 @@ class DetectionExperiment:
         checkpoints: Optional[Sequence[int]] = None,
         seed: int = 0,
         fl_sampling: float = 0.01,
+        shards: Optional[int] = None,
     ) -> None:
         if runs <= 0:
             raise ConfigurationError("runs must be positive")
@@ -139,14 +170,36 @@ class DetectionExperiment:
             raise ConfigurationError("checkpoints exceed horizon")
         self.seed = seed
         self.fl_sampling = fl_sampling
+        self.shards = resolve_shards(runs, shards)
 
     # -- public API ----------------------------------------------------------
 
-    def run(self) -> DetectionResult:
-        if self.protocol == "statfl":
-            convictions, estimates = self._run_statfl()
+    def run(self, jobs: int = 1) -> DetectionResult:
+        """Execute the batch; ``jobs`` workers process shards concurrently.
+
+        The result is identical for every ``jobs`` value: shards are
+        seeded from the root seed by shard index and concatenated in
+        shard order, so parallelism only changes wall-clock time.
+        """
+        if self.shards == 1:
+            convictions, estimates = self._run_arrays()
         else:
-            convictions, estimates = self._run_modelled()
+            sizes = shard_sizes(self.runs, self.shards)
+            payloads = [
+                (
+                    self.protocol,
+                    self.scenario,
+                    size,
+                    self.horizon,
+                    self.checkpoints,
+                    shard_seed(self.seed, index, label="mc-shard"),
+                    self.fl_sampling,
+                )
+                for index, size in enumerate(sizes)
+            ]
+            parts = run_tasks(_run_detection_shard, payloads, jobs=jobs)
+            convictions = np.concatenate([part[0] for part in parts], axis=1)
+            estimates = np.concatenate([part[1] for part in parts], axis=0)
         curve = curve_from_convictions(
             self.checkpoints, convictions, self.scenario.malicious_links
         )
@@ -158,6 +211,12 @@ class DetectionExperiment:
             estimates_last=estimates,
             malicious_links=self.scenario.malicious_links,
         )
+
+    def _run_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One generator, all runs: ``(convictions, estimates_last)``."""
+        if self.protocol == "statfl":
+            return self._run_statfl()
+        return self._run_modelled()
 
     # -- model-driven protocols ------------------------------------------------
 
@@ -257,6 +316,26 @@ class DetectionExperiment:
             estimates = np.maximum(0.0, 1.0 - fractions[:, 1:] / upstream)
             convictions[index] = estimates > thresholds[None, :]
         return convictions, estimates
+
+
+def _run_detection_shard(payload):
+    """Execute one shard of a sharded batch (possibly in a worker).
+
+    Module-level so payloads pickle by reference; a shard is simply a
+    single-shard :class:`DetectionExperiment` at the shard's derived seed.
+    """
+    protocol, scenario, runs, horizon, checkpoints, seed, fl_sampling = payload
+    shard = DetectionExperiment(
+        protocol,
+        scenario,
+        runs=runs,
+        horizon=horizon,
+        checkpoints=checkpoints,
+        seed=seed,
+        fl_sampling=fl_sampling,
+        shards=1,
+    )
+    return shard._run_arrays()
 
 
 def _grouped_multinomial(rng, trials, pvals):

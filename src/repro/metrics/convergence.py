@@ -54,13 +54,15 @@ def first_exact_round(
     truth = np.zeros(links, dtype=bool)
     for index in malicious_links:
         truth[index] = True
+    if n_checkpoints == 0:
+        return np.full(runs, -1, dtype=np.int64)
     exact = (convictions == truth[None, None, :]).all(axis=2)  # (cp, runs)
     # stable_from[c] = exact at every checkpoint >= c
     stable = np.flip(np.logical_and.accumulate(np.flip(exact, axis=0), axis=0), axis=0)
-    result = np.full(runs, -1, dtype=np.int64)
-    checkpoint_array = np.asarray(list(checkpoints))
-    for run in range(runs):
-        hits = np.nonzero(stable[:, run])[0]
-        if hits.size:
-            result[run] = checkpoint_array[hits[0]]
-    return result
+    checkpoint_array = np.asarray(list(checkpoints), dtype=np.int64)
+    # argmax over booleans finds the first True per run; runs with no
+    # stable checkpoint (argmax = 0 on an all-False column) are masked
+    # back to -1 via any().
+    first_index = np.argmax(stable, axis=0)
+    ever_stable = stable.any(axis=0)
+    return np.where(ever_stable, checkpoint_array[first_index], np.int64(-1))

@@ -12,7 +12,6 @@ monitoring period.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.constants import DEFAULT_MAX_LINK_LATENCY
@@ -29,10 +28,6 @@ from repro.obs import tracing
 from repro.obs.registry import get_registry
 
 LossFactory = Callable[[int, Direction], LossModel]
-
-#: Monotone path identifiers, so spans from multi-path experiments stay
-#: attributable (deterministic: ids depend only on construction order).
-_PATH_IDS = itertools.count()
 
 
 class PathObserver(LinkObserver):
@@ -82,7 +77,11 @@ class Path:
             raise ConfigurationError(f"path length must be positive, got {length}")
         self.simulator = simulator
         self.length = length
-        self.path_id = next(_PATH_IDS)
+        # Path ids are allocated by the simulator, so spans from
+        # multi-path experiments stay attributable while the ids remain
+        # deterministic per experiment (never dependent on how many paths
+        # earlier experiments in the same process happened to build).
+        self.path_id = simulator.next_path_id()
         self.stats = PathStats(length)
         self.nodes: List[Node] = []
         self._observers: List[PathObserver] = []

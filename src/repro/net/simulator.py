@@ -15,6 +15,7 @@ single pre-computed branch per event.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Dict, Optional
 
 from repro.net.clock import SimClock
@@ -37,6 +38,7 @@ class Simulator:
         self.queue = EventQueue()
         self.rng = RngFactory(seed)
         self._events_processed = 0
+        self._path_ids = itertools.count()
         registry = get_registry()
         self._metrics = registry if registry.enabled else None
         self._event_counters: Dict[str, Counter] = {}
@@ -50,6 +52,16 @@ class Simulator:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    def next_path_id(self) -> int:
+        """Allocate the next path id on this simulator (0, 1, ...).
+
+        Path ids are scoped to the simulator — not the process — so the
+        ids stamped on trace spans depend only on construction order
+        within one experiment and are identical run-to-run, whether the
+        experiment executes serially or in a parallel worker.
+        """
+        return next(self._path_ids)
 
     def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at absolute simulation ``time``."""

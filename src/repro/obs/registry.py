@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 
@@ -228,43 +228,51 @@ class MetricsRegistry:
         self._histograms.clear()
         self._histogram_buckets.clear()
 
-    def merge(self, other: "MetricsRegistry") -> None:
-        """Fold ``other``'s series into this registry.
+    def merge(self, other: Union["MetricsRegistry", dict]) -> None:
+        """Fold another registry — or a :meth:`snapshot` dict — into this.
 
         Counters and histograms add; gauges take ``other``'s (newer)
         value. Used by the experiment runner to aggregate per-experiment
-        registries into one run-level view.
+        registries into one run-level view, and by the parallel engine to
+        fold worker snapshots (plain dicts shipped across the process
+        boundary) back into the parent's registry. Merging is associative
+        on the additive instruments, so merge order never changes counter
+        or histogram totals.
         """
-        for name, family in other._counters.items():
-            for key, counter in family.items():
-                self.counter(name, **dict(key)).inc(counter.value)
-        for name, family in other._gauges.items():
-            for key, gauge in family.items():
-                self.gauge(name, **dict(key)).set(gauge.value)
-        for name, family in other._histograms.items():
-            for key, histogram in family.items():
-                mine = self.histogram(
-                    name, buckets=histogram.buckets, **dict(key)
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for section in ("counters", "gauges", "histograms"):
+            if section not in snapshot:
+                raise ConfigurationError(
+                    f"cannot merge: not a metrics snapshot (missing {section!r})"
                 )
-                if mine.buckets != histogram.buckets:
-                    raise ConfigurationError(
-                        f"cannot merge histogram {name!r}: bucket mismatch"
-                    )
-                for index, count in enumerate(histogram.counts):
-                    mine.counts[index] += count
-                mine.overflow += histogram.overflow
-                mine.count += histogram.count
-                mine.sum += histogram.sum
-                if histogram.min is not None:
-                    mine.min = (
-                        histogram.min if mine.min is None
-                        else min(mine.min, histogram.min)
-                    )
-                if histogram.max is not None:
-                    mine.max = (
-                        histogram.max if mine.max is None
-                        else max(mine.max, histogram.max)
-                    )
+        for entry in snapshot["counters"]:
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in snapshot["gauges"]:
+            self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in snapshot["histograms"]:
+            buckets = tuple(float(b) for b in entry["buckets"])
+            mine = self.histogram(
+                entry["name"], buckets=buckets, **entry["labels"]
+            )
+            if mine.buckets != buckets:
+                raise ConfigurationError(
+                    f"cannot merge histogram {entry['name']!r}: bucket mismatch"
+                )
+            for index, count in enumerate(entry["counts"]):
+                mine.counts[index] += count
+            mine.overflow += entry["overflow"]
+            mine.count += entry["count"]
+            mine.sum += entry["sum"]
+            if entry["min"] is not None:
+                mine.min = (
+                    entry["min"] if mine.min is None
+                    else min(mine.min, entry["min"])
+                )
+            if entry["max"] is not None:
+                mine.max = (
+                    entry["max"] if mine.max is None
+                    else max(mine.max, entry["max"])
+                )
 
     # -- export ------------------------------------------------------------
 
@@ -303,6 +311,9 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+    def snapshot_deterministic(self) -> dict:
+        return deterministic_view(self.snapshot())
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
@@ -357,6 +368,37 @@ class NullRegistry(MetricsRegistry):
 
     def snapshot(self) -> dict:
         return {"counters": [], "gauges": [], "histograms": []}
+
+
+def deterministic_view(snapshot: dict) -> dict:
+    """The seed-reproducible projection of a metrics snapshot.
+
+    Counters, gauges, and simulated-time histograms are pure functions of
+    the experiment seed, but wall-clock histograms (the ones bucketed on
+    :data:`TIME_BUCKETS`) observe real durations — their bucket spread,
+    sum, and extrema vary run to run even at a fixed seed. This view
+    keeps only each wall-clock histogram's observation ``count`` (which
+    *is* deterministic), so two snapshots of the same seeded run — e.g. a
+    serial and a parallel report — compare equal.
+    """
+    wall_clock = list(TIME_BUCKETS)
+    histograms = []
+    for entry in snapshot.get("histograms", []):
+        if entry.get("buckets") == wall_clock:
+            histograms.append(
+                {
+                    "name": entry["name"],
+                    "labels": entry["labels"],
+                    "count": entry["count"],
+                }
+            )
+        else:
+            histograms.append(entry)
+    return {
+        "counters": snapshot.get("counters", []),
+        "gauges": snapshot.get("gauges", []),
+        "histograms": histograms,
+    }
 
 
 #: The process-wide disabled registry (shared).
@@ -414,6 +456,7 @@ __all__ = [
     "NULL_REGISTRY",
     "TIME_BUCKETS",
     "SIM_LATENCY_BUCKETS",
+    "deterministic_view",
     "get_registry",
     "set_registry",
     "using_registry",

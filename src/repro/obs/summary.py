@@ -94,6 +94,17 @@ def summarize_metrics(snapshot: dict, top: int = 0) -> str:
             )
         )
 
+    # Monte-Carlo snapshots isolate their companion wire run's metrics in
+    # a dedicated section (they would otherwise contaminate the
+    # experiment's own counters); summarize it under its own banner.
+    companion = snapshot.get("companion_wire_run")
+    if companion is not None:
+        banner = "Companion wire run (captured for tracing only)"
+        blocks.append(
+            ("\n" if blocks else "") + banner + "\n" + "=" * len(banner)
+        )
+        blocks.append(summarize_metrics(companion, top=top))
+
     if not blocks:
         return "(empty metrics snapshot)"
     return "\n".join(blocks)

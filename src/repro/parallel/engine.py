@@ -1,0 +1,154 @@
+"""Process-pool execution engine with deterministic decomposition.
+
+Design constraints, in order:
+
+1. **Determinism.** Work decomposition (:func:`shard_sizes`) and seed
+   derivation (:func:`shard_seed`) depend only on the workload and the
+   root seed — never on the worker count — so results can be reassembled
+   in decomposition order and compared byte-for-byte against a serial
+   run.
+2. **Serial is the degenerate case.** ``jobs=1`` runs every task
+   in-process through the same code path a worker would take (no pool,
+   no pickling), so the serial and parallel pipelines cannot drift.
+3. **Picklable task units.** Task functions must be module-level
+   callables and payloads plain data; workers are separate processes.
+
+Worker-side telemetry: :func:`call_with_metrics` runs a task under its
+own fresh :class:`~repro.obs.registry.MetricsRegistry` and returns the
+snapshot alongside the result, so parents can merge worker metrics with
+:meth:`MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.exceptions import ConfigurationError
+from repro.net.rng import RngFactory
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Number of workers when the caller asks for "all cores"."""
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean all cores."""
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be positive, got {jobs}")
+    return int(jobs)
+
+
+# -- deterministic decomposition -------------------------------------------
+
+
+def shard_sizes(total: int, shards: int) -> List[int]:
+    """Split ``total`` items into ``shards`` contiguous chunk sizes.
+
+    Sizes are as equal as possible (the remainder spreads over the first
+    shards) and depend only on ``(total, shards)`` — concatenating shard
+    results in shard order therefore reproduces the unsharded ordering.
+    Shards never outnumber items; with ``total == 0`` a single empty
+    shard is returned.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be non-negative, got {total}")
+    if shards <= 0:
+        raise ConfigurationError(f"shards must be positive, got {shards}")
+    shards = max(1, min(shards, total))
+    base, extra = divmod(total, shards)
+    return [base + (1 if index < extra else 0) for index in range(shards)]
+
+
+def shard_seed(root_seed: int, index: int, label: str = "shard") -> int:
+    """Derive shard ``index``'s seed from the experiment's root seed.
+
+    Reuses the :class:`~repro.net.rng.RngFactory` stream-derivation
+    idiom (``spawn("shard-<i>")``): seeds are stable across processes and
+    machines, independent per shard, and never collide with the root
+    seed's own streams.
+    """
+    return RngFactory(root_seed).spawn(f"{label}-{index}").seed
+
+
+# -- task execution --------------------------------------------------------
+
+
+def run_tasks(
+    func: Callable[[P], R],
+    payloads: Sequence[P],
+    jobs: int = 1,
+) -> List[R]:
+    """Run ``func`` over ``payloads``; results in payload order.
+
+    ``jobs == 1`` executes in-process. With more jobs, payloads fan out
+    over a process pool; the pool size never exceeds the payload count.
+    """
+    payloads = list(payloads)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        return [func(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(func, payloads))
+
+
+def run_tasks_completed(
+    func: Callable[[P], R],
+    payloads: Sequence[P],
+    jobs: int = 1,
+) -> Iterator[Tuple[int, R]]:
+    """Yield ``(payload_index, result)`` pairs in completion order.
+
+    The streaming variant of :func:`run_tasks`, for callers that
+    checkpoint or report progress as results land. Serial execution
+    completes in payload order by construction. If a task raises, pending
+    tasks are cancelled and the exception propagates after in-flight
+    workers finish.
+    """
+    payloads = list(payloads)
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(payloads) <= 1:
+        for index, payload in enumerate(payloads):
+            yield index, func(payload)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        futures = {
+            pool.submit(func, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    yield futures[future], future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+
+def call_with_metrics(
+    func: Callable[[], R],
+    collect_metrics: bool,
+) -> Tuple[R, Optional[dict]]:
+    """Invoke ``func``, optionally under a fresh metrics registry.
+
+    Returns ``(result, snapshot)``; the snapshot is ``None`` when metrics
+    collection is off. The snapshot is plain JSON-serializable data, so
+    workers can ship it back across the process boundary for the parent
+    to fold in with :meth:`MetricsRegistry.merge`.
+    """
+    if not collect_metrics:
+        return func(), None
+    from repro.obs.registry import MetricsRegistry, using_registry
+
+    with using_registry(MetricsRegistry()) as registry:
+        result = func()
+    return result, registry.snapshot()

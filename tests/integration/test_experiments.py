@@ -241,7 +241,7 @@ class TestRunnerReport:
         text = report.render()
         assert "Reproduction report" in text
         assert report.total_seconds > 0
-        assert set(SCALES) == {"quick", "full"}
+        assert set(SCALES) == {"smoke", "quick", "full"}
 
     def test_run_all_scale_validation(self):
         from repro.experiments.runner import run_all

@@ -134,9 +134,15 @@ class TestCliExporters:
         capsys.readouterr()
 
         snapshot = load_metrics(str(metrics_out))
-        assert snapshot["counters"]
+        assert snapshot["status"] == "ok"
+        # The Monte-Carlo experiment itself touches no wire simulator;
+        # the companion wire run's counters must not contaminate its
+        # snapshot — they live in their own section.
         names = {entry["name"] for entry in snapshot["counters"]}
-        assert "sim.events" in names
+        assert "sim.events" not in names
+        companion = snapshot["companion_wire_run"]
+        companion_names = {entry["name"] for entry in companion["counters"]}
+        assert "sim.events" in companion_names
 
         spans = read_jsonl(str(trace_out))
         assert spans
@@ -168,11 +174,65 @@ class TestCliExporters:
         )
         assert "Counters" in text
 
+    def test_summary_renders_isolated_companion_section(self):
+        from repro.obs.summary import summarize_metrics
+
+        registry = MetricsRegistry()
+        registry.counter("sim.events").inc(42)
+        snapshot = {
+            "counters": [], "gauges": [], "histograms": [],
+            "companion_wire_run": registry.snapshot(),
+        }
+        text = summarize_metrics(snapshot)
+        assert "Companion wire run" in text
+        assert "sim.events" in text
+
     def test_load_metrics_rejects_malformed_files(self, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"not": "metrics"}))
         with pytest.raises(Exception):
             load_metrics(str(bad))
+
+
+class TestObservabilityCrashSafety:
+    """Regression: an exception escaping the command used to skip the
+    post-``yield`` writes, losing every byte of telemetry from a crashed
+    run — exactly when it is most needed."""
+
+    def test_partial_metrics_written_on_crash(self, tmp_path, capsys):
+        import argparse
+
+        metrics_out = tmp_path / "metrics.json"
+        trace_out = tmp_path / "trace.jsonl"
+        args = argparse.Namespace(
+            metrics_out=str(metrics_out), trace_out=str(trace_out)
+        )
+        with pytest.raises(RuntimeError, match="mid-experiment crash"):
+            with cli._observability(args):
+                from repro.obs.registry import get_registry
+
+                get_registry().counter("partial.work").inc(3)
+                raise RuntimeError("mid-experiment crash")
+        capsys.readouterr()
+
+        with open(metrics_out) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["status"] == "failed"
+        counters = {e["name"]: e["value"] for e in snapshot["counters"]}
+        assert counters["partial.work"] == 3
+        assert trace_out.exists()
+
+    def test_clean_run_is_marked_ok(self, tmp_path, capsys):
+        import argparse
+
+        metrics_out = tmp_path / "metrics.json"
+        args = argparse.Namespace(metrics_out=str(metrics_out),
+                                  trace_out=None)
+        with cli._observability(args):
+            pass
+        capsys.readouterr()
+        with open(metrics_out) as handle:
+            assert json.load(handle)["status"] == "ok"
 
 
 class TestReportTelemetry:

@@ -95,6 +95,57 @@ class TestFirstExactRound:
         first = first_exact_round([1, 2, 3], convictions, [0])
         assert first[0] == 3
 
+    @staticmethod
+    def _reference_first_exact_round(checkpoints, convictions, malicious):
+        """The pre-vectorization per-run loop, kept as the oracle."""
+        n_checkpoints, runs, links = convictions.shape
+        truth = np.zeros(links, dtype=bool)
+        for index in malicious:
+            truth[index] = True
+        out = np.full(runs, -1, dtype=np.int64)
+        for run in range(runs):
+            for start in range(n_checkpoints):
+                stable = all(
+                    bool((convictions[later, run] == truth).all())
+                    for later in range(start, n_checkpoints)
+                )
+                if stable:
+                    out[run] = checkpoints[start]
+                    break
+        return out
+
+    def test_vectorized_matches_reference_loop(self):
+        # Regression for the np.argmax vectorization: random conviction
+        # tensors mixing never-converging, late-converging and
+        # always-exact runs must agree with the old per-run loop.
+        rng = np.random.default_rng(123)
+        checkpoints = [5, 10, 20, 40, 80]
+        for malicious in ([], [0], [2, 3]):
+            convictions = rng.random((5, 40, 4)) < 0.5
+            truth = np.zeros(4, dtype=bool)
+            truth[malicious] = True
+            convictions[:, 0] = truth          # exact from the start
+            convictions[:, 1] = ~truth         # never exact
+            convictions[:2, 2] = ~truth        # settles at checkpoint 2
+            convictions[2:, 2] = truth
+            expected = self._reference_first_exact_round(
+                checkpoints, convictions, malicious
+            )
+            np.testing.assert_array_equal(
+                first_exact_round(checkpoints, convictions, malicious),
+                expected,
+            )
+        assert expected[0] == 5
+        assert expected[1] == -1
+        assert expected[2] == 20
+
+    def test_zero_checkpoints(self):
+        convictions = np.zeros((0, 3, 2), dtype=bool)
+        np.testing.assert_array_equal(
+            first_exact_round([], convictions, [0]),
+            np.full(3, -1, dtype=np.int64),
+        )
+
 
 class TestConvergencePoint:
     def test_delegates(self):

@@ -1,5 +1,7 @@
 """Tests for the metrics registry (repro.obs.registry)."""
 
+import json
+
 import pytest
 
 from repro.exceptions import ConfigurationError
@@ -10,6 +12,7 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    deterministic_view,
     get_registry,
     metrics_enabled,
     set_registry,
@@ -180,6 +183,76 @@ class TestMerge:
         right.histogram("h", buckets=(2.0,)).observe(0.5)
         with pytest.raises(ConfigurationError):
             left.merge(right)
+
+    def test_merge_accepts_snapshot_dict(self):
+        # Workers ship plain snapshots across the process boundary; the
+        # parent must be able to fold them in without a live registry.
+        worker = MetricsRegistry()
+        worker.counter("c", k="v").inc(4)
+        worker.gauge("g").set(2.5)
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.counter("c", k="v").inc(1)
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("c", k="v") == 5
+        assert parent.gauge("g").value == 2.5
+        assert parent.histogram("h", buckets=(1.0, 2.0)).count == 1
+
+    def test_merge_from_dict_equals_merge_from_registry(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(7)
+        source.histogram("h", buckets=(1.0,)).observe(0.2)
+        via_registry, via_dict = MetricsRegistry(), MetricsRegistry()
+        via_registry.merge(source)
+        via_dict.merge(source.snapshot())
+        assert via_registry.snapshot() == via_dict.snapshot()
+
+    def test_merge_rejects_malformed_snapshot(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().merge({"counters": []})  # sections missing
+
+    def test_merge_is_associative_on_counters(self):
+        snapshots = []
+        for value in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(value)
+            snapshots.append(registry.snapshot())
+        left_fold, pairwise = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            left_fold.merge(snapshot)
+        intermediate = MetricsRegistry()
+        intermediate.merge(snapshots[1])
+        intermediate.merge(snapshots[2])
+        pairwise.merge(snapshots[0])
+        pairwise.merge(intermediate.snapshot())
+        assert left_fold.snapshot() == pairwise.snapshot()
+
+
+class TestDeterministicView:
+    def test_wall_clock_histograms_reduce_to_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("crypto.hmac.seconds", buckets=TIME_BUCKETS
+                           ).observe(1e-5)
+        registry.histogram("sim.latency", buckets=SIM_LATENCY_BUCKETS
+                           ).observe(0.01)
+        registry.counter("c").inc()
+        view = deterministic_view(registry.snapshot())
+        wall = [h for h in view["histograms"]
+                if h["name"] == "crypto.hmac.seconds"]
+        assert wall == [{"name": "crypto.hmac.seconds", "labels": {},
+                         "count": 1}]
+        # Simulated-time histograms are deterministic and keep everything.
+        sim = [h for h in view["histograms"] if h["name"] == "sim.latency"]
+        assert "counts" in sim[0] and sim[0]["count"] == 1
+        assert view["counters"] == registry.snapshot()["counters"]
+
+    def test_view_does_not_mutate_the_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=TIME_BUCKETS).observe(0.5)
+        snapshot = registry.snapshot()
+        before = json.dumps(snapshot, sort_keys=True)
+        deterministic_view(snapshot)
+        assert json.dumps(snapshot, sort_keys=True) == before
 
 
 class TestActiveRegistry:

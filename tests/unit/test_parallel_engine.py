@@ -1,0 +1,142 @@
+"""Tests for the deterministic process-pool engine (repro.parallel)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.parallel import (
+    call_with_metrics,
+    default_jobs,
+    resolve_jobs,
+    run_tasks,
+    run_tasks_completed,
+    shard_seed,
+    shard_sizes,
+)
+from repro.obs.registry import get_registry, NullRegistry
+
+
+def _square(value):
+    """Module-level so it pickles across the pool boundary."""
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("scripted shard failure")
+    return value
+
+
+def _counting_task():
+    registry = get_registry()
+    registry.counter("task.calls").inc()
+    return "done"
+
+
+class TestResolveJobs:
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cores(self):
+        assert resolve_jobs(None) == default_jobs()
+        assert resolve_jobs(0) == default_jobs()
+        assert default_jobs() >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(-2)
+
+
+class TestShardSizes:
+    def test_sizes_sum_to_total(self):
+        for total in (1, 7, 256, 1000, 2001):
+            for shards in (1, 2, 3, 8):
+                sizes = shard_sizes(total, shards)
+                assert sum(sizes) == total
+
+    def test_sizes_are_near_equal(self):
+        sizes = shard_sizes(10, 4)
+        assert sizes == [3, 3, 2, 2]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_never_outnumber_items(self):
+        assert shard_sizes(3, 8) == [1, 1, 1]
+
+    def test_zero_total_gives_single_empty_shard(self):
+        assert shard_sizes(0, 4) == [0]
+
+    def test_decomposition_is_deterministic(self):
+        assert shard_sizes(1000, 7) == shard_sizes(1000, 7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shard_sizes(-1, 2)
+        with pytest.raises(ConfigurationError):
+            shard_sizes(10, 0)
+
+
+class TestShardSeed:
+    def test_deterministic(self):
+        assert shard_seed(42, 0) == shard_seed(42, 0)
+        assert shard_seed(42, 3) == shard_seed(42, 3)
+
+    def test_distinct_per_index_and_root(self):
+        seeds = {shard_seed(42, index) for index in range(32)}
+        assert len(seeds) == 32
+        assert shard_seed(42, 0) != shard_seed(43, 0)
+
+    def test_labels_separate_streams(self):
+        assert shard_seed(42, 0, label="mc-shard") != shard_seed(42, 0)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [3, 1, 4, 1, 5], jobs=1) == [9, 1, 16, 1, 25]
+
+    def test_parallel_matches_serial(self):
+        payloads = list(range(9))
+        assert run_tasks(_square, payloads, jobs=4) == (
+            run_tasks(_square, payloads, jobs=1)
+        )
+
+    def test_single_payload_short_circuits(self):
+        assert run_tasks(_square, [6], jobs=8) == [36]
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], jobs=4) == []
+
+
+class TestRunTasksCompleted:
+    def test_serial_yields_in_payload_order(self):
+        pairs = list(run_tasks_completed(_square, [2, 3, 4], jobs=1))
+        assert pairs == [(0, 4), (1, 9), (2, 16)]
+
+    def test_parallel_yields_every_result_once(self):
+        pairs = list(run_tasks_completed(_square, list(range(8)), jobs=4))
+        assert sorted(pairs) == [(i, i * i) for i in range(8)]
+
+    def test_serial_failure_propagates(self):
+        with pytest.raises(ValueError, match="scripted shard failure"):
+            list(run_tasks_completed(_fail_on_three, [1, 2, 3, 4], jobs=1))
+
+    def test_parallel_failure_propagates(self):
+        with pytest.raises(ValueError, match="scripted shard failure"):
+            list(run_tasks_completed(_fail_on_three, [3] * 4, jobs=2))
+
+
+class TestCallWithMetrics:
+    def test_disabled_returns_no_snapshot(self):
+        result, snapshot = call_with_metrics(lambda: 7, collect_metrics=False)
+        assert result == 7
+        assert snapshot is None
+
+    def test_enabled_returns_fresh_snapshot(self):
+        result, snapshot = call_with_metrics(
+            _counting_task, collect_metrics=True
+        )
+        assert result == "done"
+        counters = {e["name"]: e["value"] for e in snapshot["counters"]}
+        assert counters == {"task.calls": 1}
+
+    def test_registry_is_scoped_to_the_call(self):
+        call_with_metrics(_counting_task, collect_metrics=True)
+        assert isinstance(get_registry(), NullRegistry)

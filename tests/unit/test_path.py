@@ -199,3 +199,40 @@ class TestDescribe:
         sim = Simulator()
         path = Path(sim, length=1)
         assert path.describe() == "S ──l0── D"
+
+
+class TestPathIdScoping:
+    """Regression: path ids were allocated from a process-global counter,
+    so ids (and therefore trace spans) depended on how many paths any
+    earlier experiment in the same process had built. Ids are now scoped
+    to the simulator."""
+
+    def test_fresh_simulators_restart_at_zero(self):
+        for _ in range(3):
+            sim = Simulator(seed=0)
+            assert Path(sim, length=2).path_id == 0
+            assert Path(sim, length=2).path_id == 1
+
+    def test_links_inherit_their_path_id(self):
+        sim = Simulator(seed=0)
+        Path(sim, length=2)
+        second = Path(sim, length=3)
+        assert {link.path_id for link in second.links} == {1}
+
+    def test_same_experiment_reproduces_identical_span_path_ids(self):
+        from repro.obs.tracing import RoundTraceCollector, using_collector
+
+        def traced_path_ids():
+            collector = RoundTraceCollector()
+            with using_collector(collector):
+                sim, path, nodes = build_path(length=2, seed=3)
+                for i in range(20):
+                    nodes[0].send_forward(
+                        DataPacket.create(b"p%d" % i, float(i))
+                    )
+                sim.run()
+            return [span.path_id for span in collector.spans()]
+
+        first = traced_path_ids()
+        assert first == traced_path_ids()
+        assert first and set(first) == {0}
