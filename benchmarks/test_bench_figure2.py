@@ -12,7 +12,6 @@ The paper's qualitative content per panel:
 import numpy as np
 
 from repro.experiments.figure2 import run_figure2
-from repro.workloads.scenarios import paper_scenario
 
 SIGMA = 0.03
 

@@ -5,14 +5,12 @@ These are regression guards: the detection experiments' feasibility rests
 on these operations staying cheap.
 """
 
-from repro.core.params import ProtocolParams
 from repro.crypto.keys import KeyManager
 from repro.crypto.mac import hmac_sha256, mac, verify_mac
 from repro.crypto.oblivious import ObliviousDecoder, ObliviousReport
 from repro.crypto.onion import OnionReport, OnionVerifier
 from repro.crypto.prf import PRF
 from repro.net.simulator import Simulator
-from repro.protocols.registry import make_protocol
 from repro.workloads.scenarios import paper_scenario
 
 

@@ -14,8 +14,8 @@ README.md and the per-experiment index in DESIGN.md.
 [4]
 """
 
-from repro.core.params import ProtocolParams
 from repro.core.identification import IdentificationResult, identify_links
+from repro.core.params import ProtocolParams
 from repro.net.simulator import Simulator
 from repro.protocols.registry import available_protocols, make_protocol
 from repro.workloads.scenarios import Scenario, paper_scenario

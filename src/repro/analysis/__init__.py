@@ -6,6 +6,7 @@ from repro.analysis.bounds import (
     optimal_strategy_drop_rates,
     psi_threshold,
 )
+from repro.analysis.comparison import table1_rows
 from repro.analysis.detection import (
     detection_packets,
     detection_time_minutes,
@@ -14,12 +15,11 @@ from repro.analysis.detection import (
     tau2_paai1,
     tau3_paai2,
 )
-from repro.analysis.hoeffding import hoeffding_sample_size, hoeffding_deviation
+from repro.analysis.hoeffding import hoeffding_deviation, hoeffding_sample_size
 from repro.analysis.overhead import (
     communication_overhead,
     storage_bound_packets,
 )
-from repro.analysis.comparison import table1_rows
 
 __all__ = [
     "malicious_drop_bound",

@@ -1,0 +1,48 @@
+"""Static determinism & crypto-boundary auditor (plus runtime sanitizer).
+
+The repo's two headline guarantees are behavioral, not structural:
+
+* **byte-identical parallel/serial output** — every experiment derives its
+  randomness from seeded :class:`repro.net.rng.RngFactory` streams and
+  reads time from the simulation clock, so ``--jobs N`` reproduces the
+  serial report exactly (``docs/PARALLEL.md``);
+* **a from-scratch crypto substrate** — HMAC/PRF/cipher constructions are
+  built inside :mod:`repro.crypto` from first principles (the paper
+  specifies the protocols directly in terms of those primitives), so
+  stdlib ``hashlib``/``hmac`` must not leak into protocol code.
+
+Nothing in Python enforces either property; one stray ``random.random()``
+or ``time.time()`` in an agent silently breaks reproducibility. This
+package codifies the invariants as machine-checked rules:
+
+* :mod:`repro.audit.engine` — AST rule engine: per-file module contexts,
+  qualified-name resolution through import tables, findings with
+  severity, and ``# repro: allow(<rule-id>)`` suppression comments;
+* :mod:`repro.audit.rules_determinism`, :mod:`~repro.audit.rules_crypto`,
+  :mod:`~repro.audit.rules_simtime`, :mod:`~repro.audit.rules_iteration`
+  — the rule families (see ``docs/AUDIT.md`` for the catalogue);
+* :mod:`repro.audit.baseline` — fingerprinted baseline files that
+  grandfather deliberate exceptions while new findings still fail CI;
+* :mod:`repro.audit.cli` — ``repro-aai audit`` / ``python -m repro.audit``;
+* :mod:`repro.audit.runtime` — a test-time sanitizer that patches
+  wall-clock and global-RNG entry points to raise inside simulator scope.
+"""
+
+from repro.audit.baseline import load_baseline, write_baseline
+from repro.audit.catalog import all_rules, find_rule, known_rule_ids
+from repro.audit.engine import Finding, Rule, audit_paths, audit_source
+from repro.audit.runtime import SanitizerViolation, sanitized
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SanitizerViolation",
+    "all_rules",
+    "audit_paths",
+    "audit_source",
+    "find_rule",
+    "known_rule_ids",
+    "load_baseline",
+    "sanitized",
+    "write_baseline",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.audit`` — same interface as ``repro-aai audit``."""
+
+import sys
+
+from repro.audit.cli import main
+
+sys.exit(main())

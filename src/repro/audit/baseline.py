@@ -1,0 +1,75 @@
+"""Baseline files: grandfather deliberate findings, gate everything new.
+
+A baseline is a committed JSON file listing the fingerprints of findings
+the team has decided to live with. The CI gate compares the current audit
+against it: grandfathered findings are reported but do not fail;
+anything *not* in the baseline does. Fingerprints hash the rule id, file
+path, and offending line's text (see :class:`repro.audit.engine.Finding`),
+so the baseline survives line-number drift but invalidates itself when
+the excused line actually changes — an edited exception must be
+re-justified.
+
+The shipped baseline is (near-)empty by policy: deliberate exceptions
+carry inline ``# repro: allow(<rule-id>)`` comments next to the code they
+excuse, which keeps the justification in the diff that introduces it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, List, Set
+
+from repro.audit.engine import Finding
+from repro.exceptions import ConfigurationError
+
+BASELINE_FORMAT = "repro-audit-baseline"
+BASELINE_VERSION = 1
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE = "audit-baseline.json"
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints recorded in ``path``; empty set when it is absent."""
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != BASELINE_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not an audit baseline "
+            f"(missing format={BASELINE_FORMAT!r})"
+        )
+    return {entry["fingerprint"] for entry in payload.get("entries", [])}
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Persist ``findings`` as the new baseline; returns the entry count.
+
+    Entries keep human-readable context (rule, path, line, message)
+    alongside the fingerprint so a reviewer can audit the baseline
+    itself, but only the fingerprint participates in matching.
+    """
+    entries: List[dict] = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "severity": finding.severity,
+            "message": finding.message,
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+    ]
+    payload = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

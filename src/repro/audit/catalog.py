@@ -1,0 +1,57 @@
+"""The rule catalogue: every family assembled, plus engine meta-rules.
+
+``docs/AUDIT.md`` documents each id; ``repro-aai audit --list-rules``
+prints this table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.audit import rules_crypto, rules_determinism, rules_iteration, rules_simtime
+from repro.audit.engine import PARSE_ERROR, UNKNOWN_SUPPRESSION, Rule
+
+#: Meta findings emitted by the engine itself rather than a Rule —
+#: (id, severity, summary) for ``--list-rules`` and docs.
+META_RULES: Tuple[Tuple[str, str, str], ...] = (
+    (UNKNOWN_SUPPRESSION, "error",
+     "a `# repro: allow(...)` comment names an unknown rule id"),
+    (PARSE_ERROR, "error", "file does not parse / cannot be read"),
+)
+
+
+def all_rules() -> List[Rule]:
+    """Every audit rule, in stable id order."""
+    rules = [
+        *rules_determinism.RULES,
+        *rules_crypto.RULES,
+        *rules_simtime.RULES,
+        *rules_iteration.RULES,
+    ]
+    return sorted(rules, key=lambda rule: rule.id)
+
+
+def known_rule_ids() -> Set[str]:
+    """Every id that may appear in findings or suppressions."""
+    ids = {rule.id for rule in all_rules()}
+    ids.update(meta_id for meta_id, _, _ in META_RULES)
+    return ids
+
+
+def find_rule(rule_id: str) -> Optional[Rule]:
+    for rule in all_rules():
+        if rule.id == rule_id:
+            return rule
+    return None
+
+
+def render_rule_listing() -> str:
+    """Human-readable catalogue for ``--list-rules``."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.severity:7s}]  ({rule.family}) "
+                     f"{rule.summary}")
+        lines.append(f"        {rule.rationale}")
+    for meta_id, severity, summary in META_RULES:
+        lines.append(f"{meta_id}  [{severity:7s}]  (engine) {summary}")
+    return "\n".join(lines)

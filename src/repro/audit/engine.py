@@ -1,0 +1,408 @@
+"""AST rule engine: module contexts, findings, suppressions.
+
+The engine parses each audited file once, builds a :class:`ModuleContext`
+(source lines, import table, dotted module name, suppression comments) and
+hands it to every registered :class:`Rule`. Rules walk the AST and emit
+:class:`Finding` objects; the engine filters findings suppressed by
+``# repro: allow(<rule-id>)`` comments on the finding's line and reports
+unknown rule ids inside suppressions as findings themselves (``AUD001``),
+so a typo cannot silently disable a rule.
+
+Scoping: most rules only make sense for specific packages (wall-clock is
+banned in simulator code but ``time.monotonic`` is fine in telemetry).
+The context derives the dotted module name from the file path (anything
+under ``src/repro`` maps to ``repro.*``); fixture files outside the
+package can impersonate a scope with a ``# repro: module=<dotted>``
+pragma in their first lines, which is how the test suite exercises
+scoped rules without living inside ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib  # repro: allow(CB001) -- finding fingerprints, not crypto
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Severity levels, in gate order: only ``error`` findings fail the gate.
+SEVERITIES = ("error", "warning")
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(\s*([^)]*?)\s*\)")
+_MODULE_PRAGMA_RE = re.compile(r"#\s*repro:\s*module\s*=\s*([\w.]+)")
+
+#: Meta rule ids emitted by the engine itself (not by a Rule subclass).
+UNKNOWN_SUPPRESSION = "AUD001"
+PARSE_ERROR = "AUD002"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    line_text: str = ""
+    #: Set after baseline comparison: an old, grandfathered finding.
+    baselined: bool = False
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes the rule, the file, and the *text* of the offending line
+        (not its number), so findings survive unrelated edits that shift
+        line numbers but die when the offending line itself changes.
+        """
+        material = f"{self.rule}:{self.path}:{self.line_text.strip()}"
+        digest = hashlib.sha256(material.encode()).hexdigest()
+        return digest[:16]
+
+    def render(self) -> str:
+        tail = " [baselined]" if self.baselined else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}{tail}"
+        )
+
+
+class Rule:
+    """Base class for audit rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` states which repo invariant the rule protects — it is
+    surfaced by ``repro-aai audit --list-rules`` and ``docs/AUDIT.md``.
+    """
+
+    id: str = ""
+    family: str = ""
+    severity: str = "error"
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=self.severity,
+            line_text=ctx.line(line),
+        )
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one audited file."""
+
+    def __init__(self, path: str, source: str, module: Optional[str] = None) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        #: ``{lineno: comment text}`` — actual COMMENT tokens, so prose
+        #: *about* suppressions inside docstrings never activates one.
+        self.comments = _comment_table(source)
+        pragma = self._pragma_module()
+        self.module = pragma or module or module_name_for(path)
+        self.imports = _import_table(self.tree, self.module)
+
+    def _pragma_module(self) -> Optional[str]:
+        for lineno in sorted(self.comments):
+            if lineno > 10:
+                break
+            match = _MODULE_PRAGMA_RE.search(self.comments[lineno])
+            if match:
+                return match.group(1)
+        return None
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when this file's module falls under any dotted prefix."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    @property
+    def is_repro_module(self) -> bool:
+        return self.in_module("repro")
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted qualified name of a Name/Attribute expression, if known.
+
+        ``import numpy as np`` + ``np.random.seed`` resolves to
+        ``numpy.random.seed``; names that are not rooted in an import
+        (locals, parameters) resolve to ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def iter_qualified_uses(ctx: "ModuleContext") -> Iterator["tuple[ast.AST, str]"]:
+    """Yield ``(node, dotted_name)`` for maximal Name/Attribute chains.
+
+    ``np.random.seed`` yields once as ``numpy.random.seed`` — the inner
+    ``np.random`` and ``np`` nodes are skipped, so rules matching by
+    prefix report each use exactly once.
+    """
+    inner = {
+        id(node.value)
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.Attribute)
+    }
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Attribute, ast.Name)):
+            continue
+        if id(node) in inner:
+            continue
+        qualified = ctx.resolve(node)
+        if qualified is not None:
+            yield node, qualified
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path``.
+
+    Files under a ``src/repro`` tree map to the real package name; other
+    files (tests, benchmarks, fixtures) get a path-derived pseudo-name so
+    scoped rules simply don't apply to them unless a ``# repro: module=``
+    pragma opts in.
+    """
+    normalized = os.path.normpath(os.path.abspath(path))
+    pieces = normalized.split(os.sep)
+    if "repro" in pieces:
+        index = pieces.index("repro")
+        if index > 0 and pieces[index - 1] == "src":
+            pieces = pieces[index:]
+    else:
+        # Path-derived pseudo-name: last few components, dotted.
+        pieces = pieces[-3:]
+    dotted = ".".join(pieces)
+    if dotted.endswith(".py"):
+        dotted = dotted[: -len(".py")]
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def _comment_table(source: str) -> Dict[int, str]:
+    """Map line numbers to their ``#`` comment text (tokenize-accurate)."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except tokenize.TokenError:
+        pass
+    return comments
+
+
+def _import_table(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Map local names to the dotted import they are rooted in."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the root name ``a``.
+                    root = alias.name.split(".")[0]
+                    table[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                package = module.rsplit(".", node.level)[0] if module else ""
+                base = f"{package}.{base}".strip(".") if base else package
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{base}.{alias.name}" if base else alias.name
+    return table
+
+
+# -- suppressions -----------------------------------------------------------
+
+
+@dataclass
+class Suppressions:
+    """Per-line ``# repro: allow(...)`` comments for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        return rule_id in self.by_line.get(line, set())
+
+
+def parse_suppressions(
+    ctx: ModuleContext, known_ids: Set[str]
+) -> "tuple[Suppressions, List[Finding]]":
+    """Extract suppression comments; report unknown rule ids (AUD001).
+
+    A suppression silences exactly the named rule(s) on exactly its own
+    line — there is no file- or block-level form, so every exception
+    stays visible next to the code it excuses.
+    """
+    suppressions = Suppressions()
+    findings: List[Finding] = []
+    for lineno in sorted(ctx.comments):
+        text = ctx.comments[lineno]
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        for rule_id in sorted(ids):
+            if rule_id not in known_ids:
+                findings.append(
+                    Finding(
+                        rule=UNKNOWN_SUPPRESSION,
+                        path=ctx.path,
+                        line=lineno,
+                        col=match.start() + 1,
+                        message=(
+                            f"suppression names unknown rule id {rule_id!r} "
+                            "(see `repro-aai audit --list-rules`)"
+                        ),
+                        severity="error",
+                        line_text=ctx.line(lineno),
+                    )
+                )
+        suppressions.by_line[lineno] = ids & known_ids
+    return suppressions, findings
+
+
+# -- file collection and the audit entry points -----------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in _SKIP_DIRS and not name.endswith(".egg-info")
+            )
+            files.extend(
+                os.path.join(dirpath, name)
+                for name in sorted(filenames)
+                if name.endswith(".py")
+            )
+    return sorted(dict.fromkeys(files))
+
+
+def _display_path(path: str, root: Optional[str]) -> str:
+    """Posix-style path relative to ``root`` (baseline fingerprints need
+    paths that are stable across checkouts and operating systems)."""
+    if root:
+        try:
+            path = os.path.relpath(path, root)
+        except ValueError:
+            pass
+    return path.replace(os.sep, "/")
+
+
+def audit_source(
+    source: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Audit one in-memory source blob (the test-suite entry point)."""
+    if rules is None:
+        from repro.audit.catalog import all_rules
+
+        rules = all_rules()
+    known = {rule.id for rule in rules} | {UNKNOWN_SUPPRESSION, PARSE_ERROR}
+    try:
+        ctx = ModuleContext(path, source, module=module)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions, findings = parse_suppressions(ctx, known)
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if not suppressions.allows(finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def audit_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> List[Finding]:
+    """Audit every ``.py`` file under ``paths``; findings in stable order."""
+    if root is None:
+        root = os.getcwd()
+    findings: List[Finding] = []
+    for filename in collect_files(paths):
+        try:
+            with open(filename, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=_display_path(filename, root),
+                    line=1,
+                    col=1,
+                    message=f"file cannot be read: {exc}",
+                )
+            )
+            continue
+        display = _display_path(filename, root)
+        module = module_name_for(filename)
+        for finding in audit_source(source, path=filename, module=module, rules=rules):
+            findings.append(replace(finding, path=display))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def apply_baseline(
+    findings: Iterable[Finding], fingerprints: Set[str]
+) -> List[Finding]:
+    """Mark findings whose fingerprint appears in the baseline."""
+    return [
+        replace(finding, baselined=finding.fingerprint in fingerprints)
+        for finding in findings
+    ]

@@ -1,0 +1,238 @@
+"""Determinism rules (DET*): global RNG state, wall clock, ambient entropy.
+
+The invariant these protect: every random draw and every timestamp inside
+an experiment must derive from the experiment seed (via
+:class:`repro.net.rng.RngFactory` streams) or from the simulation clock
+(:mod:`repro.net.clock`). That is precisely what makes ``--jobs N``
+byte-identical to a serial run (``docs/PARALLEL.md``) — worker processes
+share neither the interpreter's global ``random`` state nor its wall
+clock, so any code touching those diverges between serial and parallel
+execution, and between repeated runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.audit.engine import Finding, ModuleContext, Rule, iter_qualified_uses
+
+#: Simulator scope: code that runs *inside* a simulated experiment.
+#: These modules may touch neither the wall clock nor global RNG state;
+#: they receive injected streams and read the simulation clock.
+SIM_SCOPE = (
+    "repro.net",
+    "repro.protocols",
+    "repro.adversary",
+    "repro.mc",
+    "repro.workloads",
+)
+
+#: Telemetry scope: code that measures the *host* (runtimes, per-call
+#: latencies). Monotonic timers are allowed here — and only here.
+TELEMETRY_SCOPE = (
+    "repro.obs",
+    "repro.experiments",
+    "repro.parallel",
+    "repro.crypto",
+    "repro.audit",
+    "repro.cli",
+)
+
+#: ``random``-module functions that mutate/read the interpreter's hidden
+#: global Mersenne Twister. Constructing ``random.Random(seed)`` is fine.
+GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    f"random.{name}"
+    for name in (
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    )
+)
+
+#: ``numpy.random`` attributes that are *not* the legacy global state:
+#: explicit generator/bit-generator constructors with injected seeds.
+NUMPY_RANDOM_SAFE = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "RandomState",
+     "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: Wall-clock reads: non-monotonic, steppable by NTP, never seed-derived.
+WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "time.ctime", "time.localtime",
+        "time.gmtime", "time.strftime", "time.asctime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Monotonic timers: safe for measuring elapsed host time in telemetry.
+MONOTONIC_CLOCK = frozenset(
+    {
+        "time.monotonic", "time.monotonic_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.process_time", "time.process_time_ns",
+        "time.thread_time", "time.thread_time_ns",
+    }
+)
+
+#: Ambient-entropy sources: fresh randomness on every call, unseedable.
+ENTROPY_SOURCES = frozenset(
+    {"os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+     "random.SystemRandom"}
+)
+
+
+def _is_global_random(qualified: str) -> bool:
+    if qualified in GLOBAL_RANDOM_FUNCTIONS:
+        return True
+    if qualified.startswith("numpy.random."):
+        return qualified.rsplit(".", 1)[1] not in NUMPY_RANDOM_SAFE
+    return False
+
+
+class GlobalRandomRule(Rule):
+    """DET001 — calls into the interpreter's global RNG state."""
+
+    id = "DET001"
+    family = "determinism"
+    severity = "error"
+    summary = "call to a global-state RNG (`random.*` / `numpy.random.*`)"
+    rationale = (
+        "Global RNG state is shared, unseeded-by-default, and "
+        "process-local: parallel workers draw different values than a "
+        "serial run, breaking the byte-identical `--jobs N` guarantee. "
+        "Draw from an injected `repro.net.rng.RngFactory` stream instead."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.resolve(node.func)
+            if qualified and _is_global_random(qualified):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}()` uses global RNG state; draw from a "
+                    "seeded `RngFactory` stream instead",
+                )
+
+
+class ModuleRngStateRule(Rule):
+    """DET002 — module-level RNG instances (hidden shared state)."""
+
+    id = "DET002"
+    family = "determinism"
+    severity = "error"
+    summary = "RNG instance created at module scope"
+    rationale = (
+        "A `random.Random()` / `numpy.random.default_rng()` bound at "
+        "import time is shared by every experiment in the process and "
+        "consumed in whatever order callers happen to run — stream "
+        "independence (docs/PARALLEL.md) requires per-component streams "
+        "derived from the experiment seed."
+    )
+
+    _CONSTRUCTORS = frozenset(
+        {"random.Random", "numpy.random.default_rng",
+         "numpy.random.RandomState"}
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+            else:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            qualified = ctx.resolve(value.func)
+            if qualified in self._CONSTRUCTORS:
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"module-level `{qualified}(...)` creates shared RNG "
+                    "state; derive a stream per component from the "
+                    "experiment's `RngFactory`",
+                )
+
+
+class WallClockRule(Rule):
+    """DET003 — wall-clock reads in library code; monotonic outside telemetry."""
+
+    id = "DET003"
+    family = "determinism"
+    severity = "error"
+    summary = "wall-clock read (or monotonic timer outside telemetry code)"
+    rationale = (
+        "Wall clocks step under NTP and differ across workers; nothing in "
+        "the library may read one. Elapsed-time measurement belongs in "
+        "telemetry code (repro.obs / repro.experiments / repro.parallel / "
+        "repro.crypto instrumentation) and must use `time.monotonic` or "
+        "`time.perf_counter`."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_repro_module:
+            return
+        if ctx.in_module(*SIM_SCOPE):
+            # Simulator scope bans the `time` module entirely — that is
+            # ST001's finding, not ours; avoid double-reporting.
+            return
+        in_telemetry = ctx.in_module(*TELEMETRY_SCOPE)
+        for node, qualified in iter_qualified_uses(ctx):
+            if qualified in WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` reads the wall clock; use "
+                    "`time.monotonic()` for elapsed time (telemetry) or "
+                    "the simulation clock (simulator state)",
+                )
+            elif qualified in MONOTONIC_CLOCK and not in_telemetry:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` outside telemetry scope "
+                    f"({', '.join(TELEMETRY_SCOPE)}); host timing belongs "
+                    "in instrumentation, not in result-producing code",
+                )
+
+
+class EntropyRule(Rule):
+    """DET004 — ambient OS entropy in library code."""
+
+    id = "DET004"
+    family = "determinism"
+    severity = "error"
+    summary = "ambient entropy source (`os.urandom`, `secrets`, `uuid.uuid4`)"
+    rationale = (
+        "OS entropy is unseedable, so any value derived from it differs "
+        "on every run. The one deliberate exception is "
+        "`repro.crypto.cipher.StreamCipher`'s `os.urandom` *default* — "
+        "simulations always inject `RngFactory.nonce_source` — which "
+        "carries an inline `# repro: allow(DET004)`."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node, qualified in iter_qualified_uses(ctx):
+            if qualified in ENTROPY_SOURCES or qualified.startswith("secrets."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` draws ambient OS entropy; inject a "
+                    "deterministic source (e.g. `RngFactory.nonce_source`)",
+                )
+
+
+RULES = (
+    GlobalRandomRule(),
+    ModuleRngStateRule(),
+    WallClockRule(),
+    EntropyRule(),
+)

@@ -1,0 +1,57 @@
+"""Sim-time hygiene rule (ST*): simulator code reads simulated time only.
+
+The engine's event loop owns time (:class:`repro.net.clock.SimClock`);
+nodes see it through skewed :class:`~repro.net.clock.NodeClock` views —
+the paper's loose-synchronization assumption (§5). Any host-clock read in
+node/link/protocol/adversary code ties packet behavior to the machine the
+simulation happens to run on: timestamp freshness checks, probe pacing,
+and ack deadlines would all diverge between hosts and between parallel
+workers, so the rule bans the entire ``time``/``datetime`` surface (even
+monotonic timers) from simulator scope.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.audit.engine import Finding, ModuleContext, Rule, iter_qualified_uses
+from repro.audit.rules_determinism import SIM_SCOPE
+
+
+class SimTimeRule(Rule):
+    """ST001 — host-clock use inside simulator scope."""
+
+    id = "ST001"
+    family = "sim-time"
+    severity = "error"
+    summary = "host `time`/`datetime` use inside simulator scope"
+    rationale = (
+        "Simulated components must read `SimClock`/`NodeClock` "
+        "(repro.net.clock): host clocks — wall *or* monotonic — tie "
+        "timestamp freshness (§5 loose synchronization), probe pacing, "
+        "and ack deadlines to the machine running the simulation, "
+        "breaking run-to-run and serial/parallel reproducibility in "
+        f"{', '.join(SIM_SCOPE)}."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_module(*SIM_SCOPE):
+            return
+        for node, qualified in iter_qualified_uses(ctx):
+            if qualified.startswith("time."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` read inside simulator scope; use the "
+                    "simulation clock (`repro.net.clock`)",
+                )
+            elif qualified.startswith("datetime."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{qualified}` inside simulator scope; simulated "
+                    "time is a float owned by `SimClock`",
+                )
+
+
+RULES = (SimTimeRule(),)

@@ -1,0 +1,131 @@
+"""Runtime sanitizer: make nondeterminism loud inside simulator scope.
+
+The static rules catch what the AST shows; this facet catches what it
+cannot (dynamic dispatch, third-party code, `getattr` tricks). Inside a
+:func:`sanitized` block the wall-clock, ambient-entropy, and global-RNG
+entry points are patched to raise :class:`SanitizerViolation`, so a test
+that runs a simulation under the sanitizer proves the whole dynamic call
+graph — not just the audited files — stayed on seeded streams and the
+simulation clock::
+
+    with sanitized():
+        run_detection_experiment(...)   # raises if anything strays
+
+Injected ``random.Random`` instances and ``time.monotonic`` timers are
+untouched: the sanitizer blocks exactly the *global* entry points the
+determinism rules ban (DET001/DET003/DET004), nothing else.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+class SanitizerViolation(RuntimeError):
+    """A forbidden nondeterministic entry point was called."""
+
+
+#: ``(module, attribute)`` pairs patched by :func:`sanitized`. Mirrors
+#: the static ban lists in :mod:`repro.audit.rules_determinism`.
+WALL_CLOCK_TARGETS: Tuple[Tuple[str, str], ...] = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "ctime"),
+    ("time", "localtime"),
+    ("time", "strftime"),
+)
+
+ENTROPY_TARGETS: Tuple[Tuple[str, str], ...] = (
+    ("os", "urandom"),
+)
+
+GLOBAL_RANDOM_TARGETS: Tuple[Tuple[str, str], ...] = tuple(
+    ("random", name)
+    for name in (
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate",
+        "weibullvariate",
+    )
+)
+
+NUMPY_RANDOM_TARGETS: Tuple[Tuple[str, str], ...] = tuple(
+    ("numpy.random", name)
+    for name in (
+        "choice", "normal", "permutation", "rand", "randint", "randn",
+        "random", "random_sample", "seed", "shuffle", "standard_normal",
+        "uniform",
+    )
+)
+
+ALL_TARGETS: Tuple[Tuple[str, str], ...] = (
+    WALL_CLOCK_TARGETS
+    + ENTROPY_TARGETS
+    + GLOBAL_RANDOM_TARGETS
+    + NUMPY_RANDOM_TARGETS
+)
+
+
+def _make_blocker(dotted: str):
+    def _blocked(*_args, **_kwargs):
+        raise SanitizerViolation(
+            f"{dotted}() called inside a sanitized simulation scope; "
+            "inject a seeded stream (repro.net.rng.RngFactory) or read "
+            "the simulation clock (repro.net.clock)"
+        )
+
+    _blocked.__name__ = f"blocked_{dotted.replace('.', '_')}"
+    _blocked.__qualname__ = _blocked.__name__
+    return _blocked
+
+
+def _loaded_module(module_name: str) -> Optional[object]:
+    """The module to patch, or ``None`` when its package is not in use.
+
+    Submodules can hide behind lazy loaders (``numpy.random`` is absent
+    from ``sys.modules`` under NumPy 2 until first attribute access), so
+    when the *root* package is already imported the submodule is resolved
+    explicitly; packages never imported by the process stay unimported.
+    """
+    module = sys.modules.get(module_name)
+    if module is not None:
+        return module
+    root = module_name.split(".")[0]
+    if root not in sys.modules:
+        return None
+    try:
+        return importlib.import_module(module_name)
+    except ImportError:
+        return None
+
+
+@contextmanager
+def sanitized(allow: Iterable[str] = ()) -> Iterator[None]:
+    """Patch nondeterministic entry points to raise for the block's scope.
+
+    ``allow`` lists dotted names to leave untouched (e.g.
+    ``{"os.urandom"}`` for a test that exercises the cipher's default
+    entropy path). Modules that are not imported (e.g. ``numpy`` absent)
+    are skipped silently; patches restore in reverse order on exit, so
+    nesting is safe.
+    """
+    allowed = set(allow)
+    patched: List[Tuple[object, str, object]] = []
+    try:
+        for module_name, attr in ALL_TARGETS:
+            dotted = f"{module_name}.{attr}"
+            if dotted in allowed:
+                continue
+            module = _loaded_module(module_name)
+            if module is None or not hasattr(module, attr):
+                continue
+            patched.append((module, attr, getattr(module, attr)))
+            setattr(module, attr, _make_blocker(dotted))
+        yield
+    finally:
+        for module, attr, original in reversed(patched):
+            setattr(module, attr, original)

@@ -300,6 +300,14 @@ def _cmd_obs(args) -> None:
         ))
 
 
+def _cmd_audit(args) -> None:
+    from repro.audit.cli import run_audit
+
+    code = run_audit(args)
+    if code:
+        raise SystemExit(code)
+
+
 def _cmd_ablation(args) -> None:
     with _observability(args, seed=args.seed):
         if args.name == "corollary1":
@@ -430,6 +438,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     _add_obs_flags(p)
     p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser(
+        "audit",
+        help="static determinism & crypto-boundary auditor (docs/AUDIT.md)",
+    )
+    from repro.audit.cli import configure_audit_parser
+
+    configure_audit_parser(p)
+    p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser("obs", help="observability artifact tools")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

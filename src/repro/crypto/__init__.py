@@ -22,14 +22,14 @@ first principles on top of the SHA-256 compression function exposed by
 * :mod:`repro.crypto.oblivious` — PAAI-2's oblivious selection/ack layer.
 """
 
-from repro.crypto.hashing import packet_identifier, hash_bytes
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.hashing import hash_bytes, packet_identifier
+from repro.crypto.keys import KeyManager, derive_key
 from repro.crypto.mac import hmac_sha256, mac, verify_mac
+from repro.crypto.oblivious import ObliviousDecoder, ObliviousReport
+from repro.crypto.onion import OnionReport, OnionVerifier
 from repro.crypto.prf import PRF
 from repro.crypto.sampling import SecureSampler, SelectionPredicate
-from repro.crypto.cipher import StreamCipher
-from repro.crypto.keys import KeyManager, derive_key
-from repro.crypto.onion import OnionReport, OnionVerifier
-from repro.crypto.oblivious import ObliviousReport, ObliviousDecoder
 
 __all__ = [
     "packet_identifier",

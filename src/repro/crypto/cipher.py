@@ -41,7 +41,10 @@ class StreamCipher:
 
     def __init__(self, key: bytes, rng=None) -> None:
         self._prf = PRF(key, label="stream-cipher")
-        self._rng = rng if rng is not None else os.urandom
+        # Deliberate exception: the *default* entropy source is ambient
+        # (real deployments want unpredictable nonces); simulations always
+        # inject RngFactory.nonce_source.
+        self._rng = rng if rng is not None else os.urandom  # repro: allow(DET004)
 
     def encrypt(self, plaintext: bytes) -> bytes:
         """Encrypt ``plaintext``; returns ``nonce || ciphertext``."""

@@ -32,7 +32,7 @@ def derive_key(master: bytes, role: str) -> bytes:
     """
     if not role:
         raise ConfigurationError("role label must be non-empty")
-    return PRF(master, label="key-derivation").digest(role.encode("utf-8"))[:KEY_SIZE]
+    return PRF(master, label="key-derivation").digest(role.encode())[:KEY_SIZE]
 
 
 class KeyManager:

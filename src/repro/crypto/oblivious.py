@@ -28,9 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.constants import MAC_SIZE
 from repro.crypto.cipher import StreamCipher
 from repro.crypto.mac import mac, verify_mac
-from repro.constants import MAC_SIZE
 from repro.exceptions import ConfigurationError, DecryptionError
 
 #: Flag byte marking whether the report carries a destination ack.

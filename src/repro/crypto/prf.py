@@ -42,7 +42,7 @@ class PRF:
         if not isinstance(key, (bytes, bytearray)):
             raise TypeError("PRF key must be bytes")
         self._key = bytes(key)
-        self._prefix = label.encode("utf-8") + b"\x00"
+        self._prefix = label.encode() + b"\x00"
         registry = get_registry()
         self._obs_calls = (
             registry.counter("crypto.prf.calls", label=label or "(unlabeled)")

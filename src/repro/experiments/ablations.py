@@ -31,7 +31,7 @@ from repro.analysis.detection import detection_packets
 from repro.core.params import ProtocolParams
 from repro.exceptions import ConfigurationError
 from repro.experiments.report import render_table
-from repro.net.loss import GilbertElliottLoss, BernoulliLoss
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss
 from repro.net.packets import Direction, PacketKind
 from repro.net.simulator import Simulator
 from repro.protocols.registry import make_protocol
@@ -352,7 +352,7 @@ def run_corollary2(
         # "malicious drop rate" without the natural-loss noise floor.
         malicious_data_drops = sum(
             node.drops.get((PacketKind.DATA, Direction.FORWARD), 0)
-            for node in stats.node_drops.values()
+            for _, node in sorted(stats.node_drops.items())
         )
         damage = malicious_data_drops / packets
         convictions = len(protocol.identify().convicted)

@@ -116,7 +116,9 @@ def run_figure2(
         try:
             horizon = DEFAULT_HORIZONS[protocol]
         except KeyError:
-            raise ConfigurationError(f"no default horizon for {protocol!r}")
+            raise ConfigurationError(
+                f"no default horizon for {protocol!r}"
+            ) from None
     experiment = DetectionExperiment(
         protocol, scenario, runs=runs, horizon=horizon, seed=seed,
         shards=shards,

@@ -103,14 +103,17 @@ def _run_storage_case(
         bypass_time = bypass_after / sending_rate
         simulator.schedule_at(
             bypass_time,
-            lambda: [strategy.bypass() for strategy in adversaries.values()],
+            lambda: [
+                strategy.bypass()
+                for _, strategy in sorted(adversaries.items())
+            ],
         )
     protocol.run_traffic(count=packets, rate=sending_rate)
     horizon = packets / sending_rate + 2.0 * scenario.params.r0
     step = horizon / sample_points
     label_suffix = " w/ AAI" if bypass_after is not None else " w/o AAI"
     series = {}
-    for position, recorder in recorders.items():
+    for position, recorder in sorted(recorders.items()):
         samples = recorder.resample(0.0, horizon, step)
         series[position] = StorageSeries(
             label=f"{protocol_name} F{position}{label_suffix}",

@@ -149,14 +149,16 @@ def _execute_spec(payload: Tuple) -> ExperimentRecord:
     name, task, kwargs, collect_metrics = payload
     from repro.parallel.engine import call_with_metrics
 
-    started = time.time()
+    # Monotonic, not wall-clock: NTP can step time.time() backwards,
+    # which would record negative elapsed_seconds in the telemetry.
+    started = time.monotonic()
     result, snapshot = call_with_metrics(
         lambda: task(**kwargs), collect_metrics
     )
     text = result.render() if hasattr(result, "render") else str(result)
     return ExperimentRecord(
         name=name,
-        elapsed_seconds=time.time() - started,
+        elapsed_seconds=time.monotonic() - started,
         text=text,
         metrics=snapshot,
     )

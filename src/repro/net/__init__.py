@@ -41,10 +41,10 @@ from repro.net.packets import (
     ProbePacket,
 )
 from repro.net.path import Path, PathObserver
-from repro.net.trace import PacketTracer, TraceEvent
 from repro.net.rng import RngFactory
 from repro.net.simulator import Simulator
 from repro.net.stats import LinkStats, PathStats
+from repro.net.trace import PacketTracer, TraceEvent
 
 __all__ = [
     "SimClock",

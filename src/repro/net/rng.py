@@ -13,7 +13,7 @@ Two properties matter:
 
 from __future__ import annotations
 
-import hashlib
+import hashlib  # repro: allow(CB001) -- seed/stream derivation, not protocol crypto
 import random
 from typing import Iterator
 
@@ -38,7 +38,7 @@ class RngFactory:
 
     def stream(self, label: str) -> random.Random:
         """Return a fresh stream for ``label`` (same label -> same stream)."""
-        material = f"{self._seed}:{label}".encode("utf-8")
+        material = f"{self._seed}:{label}".encode()
         digest = hashlib.sha256(material).digest()
         return random.Random(int.from_bytes(digest[:8], "big"))
 
@@ -53,7 +53,7 @@ class RngFactory:
 
     def spawn(self, label: str) -> "RngFactory":
         """Derive a sub-factory (e.g., one per simulation run)."""
-        material = f"{self._seed}:spawn:{label}".encode("utf-8")
+        material = f"{self._seed}:spawn:{label}".encode()
         digest = hashlib.sha256(material).digest()
         return RngFactory(int.from_bytes(digest[:8], "big"))
 

@@ -20,14 +20,14 @@ See ``docs/OBSERVABILITY.md`` for the metric catalog and span schema.
 """
 
 from repro.obs.registry import (
+    NULL_REGISTRY,
+    SIM_LATENCY_BUCKETS,
+    TIME_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullRegistry,
-    NULL_REGISTRY,
-    SIM_LATENCY_BUCKETS,
-    TIME_BUCKETS,
     get_registry,
     metrics_enabled,
     set_registry,

@@ -20,13 +20,13 @@ from repro.crypto.keys import derive_key
 from repro.crypto.mac import mac
 from repro.crypto.sampling import SecureSampler
 from repro.net.packets import AckPacket, DataPacket
+from repro.protocols.base import WireProtocol
 from repro.protocols.combo1 import SAMPLING_ROLE
 from repro.protocols.paai2 import (
     Paai2Destination,
     Paai2Forwarder,
     Paai2Source,
 )
-from repro.protocols.base import WireProtocol
 
 
 class Combo2Source(Paai2Source):

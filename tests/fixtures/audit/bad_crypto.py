@@ -1,0 +1,23 @@
+# repro: module=repro.protocols.fake_crypto
+"""Fixture: crypto-boundary violations (CB001, CB002)."""
+
+import hashlib
+import hmac
+
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.keys import derive_key
+from repro.crypto.mac import mac
+
+
+def shortcut_digest(data: bytes) -> bytes:
+    return hmac.new(b"k", data, hashlib.sha256).digest()
+
+
+def crossed_roles(keys, node: int):
+    cipher = StreamCipher(keys.mac_key(node))
+    tag = mac(keys.encryption_key(node), b"payload")
+    return cipher, tag
+
+
+def crossed_derivation(master: bytes):
+    return StreamCipher(derive_key(master, "mac"))

@@ -1,0 +1,12 @@
+# repro: module=repro.experiments.fake_results
+"""Fixture: iteration-order hazards (ITER001 error, ITER002 warning)."""
+
+
+def rows(results: dict):
+    out = []
+    for key in {"b", "a", "c"}:
+        out.append(results[key])
+    ordered = list(set(results))
+    for name, value in results.items():
+        out.append((name, value))
+    return out, ordered

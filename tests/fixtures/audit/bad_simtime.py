@@ -1,0 +1,14 @@
+# repro: module=repro.net.fake_node
+"""Fixture: sim-time hygiene violations (ST001)."""
+
+import time
+from datetime import datetime
+
+
+def ack_deadline() -> float:
+    # Even a monotonic host timer is banned in simulator scope.
+    return time.monotonic() + 1.0
+
+
+def freshness_now():
+    return datetime.now()

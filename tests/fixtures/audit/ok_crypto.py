@@ -1,0 +1,22 @@
+# repro: module=repro.protocols.fake_crypto_ok
+"""Fixture: proper key roles plus an inline-allowed stdlib import."""
+
+import hashlib  # repro: allow(CB001)
+
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.keys import derive_key
+from repro.crypto.mac import mac
+
+
+def proper_roles(keys, node: int):
+    cipher = StreamCipher(keys.encryption_key(node))
+    tag = mac(keys.mac_key(node), b"payload")
+    return cipher, tag
+
+
+def proper_derivation(master: bytes):
+    return StreamCipher(derive_key(master, "enc"))
+
+
+def checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()

@@ -1,0 +1,68 @@
+"""The audit gate over the real tree: shipped code stays clean, the CLI
+agrees, and the warn-only mode keeps fixture violations out of the gate."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.audit import audit_paths
+from repro.audit.cli import main
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+SRC = os.path.join(REPO_ROOT, "src")
+BENCHMARKS = os.path.join(REPO_ROOT, "benchmarks")
+TESTS = os.path.join(REPO_ROOT, "tests")
+
+
+class TestShippedTree:
+    def test_src_and_benchmarks_have_no_error_findings(self):
+        findings = audit_paths([SRC, BENCHMARKS], root=REPO_ROOT)
+        errors = [f.render() for f in findings if f.severity == "error"]
+        assert errors == [], "\n".join(errors)
+
+    def test_cli_gate_exits_zero_on_shipped_tree(self, capsys):
+        assert main([SRC, BENCHMARKS]) == 0
+
+    def test_tests_tree_passes_in_warn_only_mode(self, capsys):
+        # The fixture files under tests/ stage deliberate violations;
+        # --warn-only reports them without failing the gate.
+        assert main([TESTS, "--warn-only"]) == 0
+        out = capsys.readouterr().out
+        assert "bad_determinism.py" in out
+
+    def test_json_format_round_trips(self, capsys):
+        assert main([SRC, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new_errors"] == 0
+
+
+class TestEntryPoints:
+    def test_python_dash_m_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.audit", SRC, "--format", "json"],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["format"] == "repro-audit-findings"
+
+    def test_repro_aai_subcommand_wired(self, capsys):
+        from repro.cli import main as aai_main
+
+        assert aai_main(["audit", SRC, BENCHMARKS]) == 0
+
+    def test_repro_aai_audit_failure_exits_nonzero(self, tmp_path, capsys):
+        from repro.cli import main as aai_main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nVALUE = random.random()\n")
+        with pytest.raises(SystemExit) as excinfo:
+            aai_main(["audit", str(bad)])
+        assert excinfo.value.code == 1

@@ -8,9 +8,7 @@ stream derivations break reproducibility of every recorded experiment, and
 should fail loudly here.
 """
 
-from repro.core.params import ProtocolParams
 from repro.net.simulator import Simulator
-from repro.protocols.registry import make_protocol
 from repro.workloads.scenarios import paper_scenario
 
 

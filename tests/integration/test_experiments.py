@@ -8,6 +8,7 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
 from repro.experiments.ablations import (
     run_burst_loss,
     run_corollary1,
@@ -18,8 +19,6 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3_panel
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
-from repro.exceptions import ConfigurationError
-from repro.workloads.scenarios import paper_scenario
 
 
 class TestTable1:

@@ -5,7 +5,6 @@ verdicts line up with wire-simulation ground truth."""
 import numpy as np
 import pytest
 
-from repro.core.params import ProtocolParams
 from repro.exceptions import ConfigurationError
 from repro.mc.detection import DetectionExperiment, default_checkpoints
 from repro.workloads.scenarios import paper_scenario

@@ -1,9 +1,8 @@
 """Property-based tests for the outcome models and estimators."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-
-import numpy as np
 
 from repro.core.estimators import DifferenceEstimator, DirectEstimator
 from repro.core.identification import identify_links

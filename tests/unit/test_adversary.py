@@ -116,7 +116,9 @@ class TestSelectiveDropper:
 class TestIncriminationAttacker:
     def test_oracle_attack_drops_on_target_selection(self):
         # Oracle says node 5 (=h+1 for h=4) is selected for even packets.
-        oracle = lambda ident: 5 if ident[-1] % 2 == 0 else 3
+        def oracle(ident):
+            return 5 if ident[-1] % 2 == 0 else 3
+
         strategy = IncriminationAttacker(
             target_link=4, selection_oracle=oracle, rng=random.Random(0)
         )

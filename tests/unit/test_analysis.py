@@ -3,8 +3,6 @@ tau1 ~= 1500, tau2 ~= 5e4, tau3 ~= 6e5, statFL ~= 2e7 (§7.2), and the
 Table 2 bound column (0.25 / 9 / 100 / 3333 minutes at 100 pkt/s; 12 /
 3.2 / 12 / <1 packets of storage)."""
 
-import math
-
 import pytest
 
 from repro.analysis.bounds import (

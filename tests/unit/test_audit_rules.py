@@ -1,0 +1,87 @@
+"""Rule-family coverage: every family catches its fixture violations and
+passes the suppressed/allowlisted twin (tests/fixtures/audit/)."""
+
+import os
+from collections import Counter
+
+from repro.audit import audit_paths
+
+FIXTURES = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "fixtures", "audit")
+)
+
+
+def audit_fixture(name):
+    return audit_paths([os.path.join(FIXTURES, name)], root=FIXTURES)
+
+
+def rule_counts(findings):
+    return Counter(finding.rule for finding in findings)
+
+
+class TestDeterminismFamily:
+    def test_violations_caught(self):
+        counts = rule_counts(audit_fixture("bad_determinism.py"))
+        # random.random() and np.random.uniform() both hit global state.
+        assert counts["DET001"] == 2
+        # The module-level random.Random(7).
+        assert counts["DET002"] == 1
+        # time.time() wall clock + time.monotonic() outside telemetry.
+        assert counts["DET003"] == 2
+        # os.urandom(16).
+        assert counts["DET004"] == 1
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_determinism.py") == []
+
+
+class TestCryptoBoundaryFamily:
+    def test_violations_caught(self):
+        counts = rule_counts(audit_fixture("bad_crypto.py"))
+        # `import hashlib` and `import hmac` outside repro.crypto.
+        assert counts["CB001"] == 2
+        # mac_key -> StreamCipher, encryption_key -> mac, and the
+        # derive_key(master, "mac") -> StreamCipher variant.
+        assert counts["CB002"] == 3
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_crypto.py") == []
+
+
+class TestSimTimeFamily:
+    def test_violations_caught(self):
+        counts = rule_counts(audit_fixture("bad_simtime.py"))
+        # time.monotonic() and datetime.now() inside simulator scope.
+        assert counts["ST001"] == 2
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_simtime.py") == []
+
+
+class TestIterationOrderFamily:
+    def test_violations_caught(self):
+        findings = audit_fixture("bad_iteration.py")
+        counts = rule_counts(findings)
+        # `for key in {...}` and `list(set(...))`.
+        assert counts["ITER001"] == 2
+        # `.items()` loop in experiment scope — warning severity.
+        assert counts["ITER002"] == 1
+        severities = {f.rule: f.severity for f in findings}
+        assert severities["ITER001"] == "error"
+        assert severities["ITER002"] == "warning"
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_iteration.py") == []
+
+
+def test_fixture_files_never_leak_other_rules():
+    """Each bad fixture triggers exactly its own family (plus nothing)."""
+    expected_families = {
+        "bad_determinism.py": {"DET001", "DET002", "DET003", "DET004"},
+        "bad_crypto.py": {"CB001", "CB002"},
+        "bad_simtime.py": {"ST001"},
+        "bad_iteration.py": {"ITER001", "ITER002"},
+    }
+    for name, expected in expected_families.items():
+        seen = set(rule_counts(audit_fixture(name)))
+        assert seen == expected, f"{name}: {seen} != {expected}"

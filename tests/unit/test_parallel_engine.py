@@ -3,6 +3,7 @@
 import pytest
 
 from repro.exceptions import ConfigurationError
+from repro.obs.registry import NullRegistry, get_registry
 from repro.parallel import (
     call_with_metrics,
     default_jobs,
@@ -12,7 +13,6 @@ from repro.parallel import (
     shard_seed,
     shard_sizes,
 )
-from repro.obs.registry import get_registry, NullRegistry
 
 
 def _square(value):
