@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
-from repro.audit import rules_crypto, rules_determinism, rules_iteration, rules_simtime
+from repro.audit import (
+    rules_crypto,
+    rules_determinism,
+    rules_faults,
+    rules_iteration,
+    rules_simtime,
+)
 from repro.audit.engine import PARSE_ERROR, UNKNOWN_SUPPRESSION, Rule
 
 #: Meta findings emitted by the engine itself rather than a Rule —
@@ -25,6 +31,7 @@ def all_rules() -> List[Rule]:
     rules = [
         *rules_determinism.RULES,
         *rules_crypto.RULES,
+        *rules_faults.RULES,
         *rules_simtime.RULES,
         *rules_iteration.RULES,
     ]

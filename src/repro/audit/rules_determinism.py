@@ -24,6 +24,7 @@ SIM_SCOPE = (
     "repro.net",
     "repro.protocols",
     "repro.adversary",
+    "repro.faults",
     "repro.mc",
     "repro.workloads",
 )

@@ -257,6 +257,13 @@ def _cmd_report(args) -> None:
         print("--trace-out requires a serial report; forcing --jobs 1",
               file=sys.stderr)
         jobs = 1
+    retry = None
+    if args.max_attempts > 1 or args.task_timeout is not None:
+        from repro.parallel.engine import RetryPolicy
+
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts, timeout=args.task_timeout
+        )
     collector = None
     with ExitStack() as stack:
         if args.trace_out:
@@ -270,6 +277,7 @@ def _cmd_report(args) -> None:
             collect_metrics=args.metrics_out is not None,
             jobs=jobs,
             resume_path=args.resume,
+            retry=retry,
         )
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
@@ -286,6 +294,39 @@ def _cmd_report(args) -> None:
         print(f"report written to {args.out}")
     else:
         print(report.render())
+
+
+def _cmd_chaos(args) -> None:
+    from repro.experiments.chaos import run_chaos_matrix
+
+    _check_output_dirs(args.out, args.json_out)
+    report = run_chaos_matrix(
+        matrix=args.matrix,
+        seed=args.seed,
+        packets=args.packets,
+        rate=args.rate,
+        protocols=args.protocols,
+        progress=lambda cell: print(
+            f"[{'ok' if cell.ok else 'FAIL'}] {cell.protocol} / {cell.spec}",
+            file=sys.stderr,
+            flush=True,
+        ),
+    )
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos report written to {args.json_out}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.render())
+            handle.write("\n")
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif not args.out:
+        print(report.render())
+    if not report.ok:
+        raise SystemExit(1)
 
 
 def _cmd_obs(args) -> None:
@@ -425,7 +466,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", type=str, default=None, dest="trace_out",
         metavar="FILE", help="write per-round tracing spans (JSONL)",
     )
+    p.add_argument("--max-attempts", type=int, default=1, dest="max_attempts",
+                   help="attempts per experiment before the report fails; "
+                        ">1 retries crashed/failed experiments on a fresh "
+                        "worker pool (docs/ROBUSTNESS.md)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   dest="task_timeout", metavar="SECONDS",
+                   help="per-round deadline after which unfinished "
+                        "experiments are treated as failed and retried")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a named fault-injection matrix (docs/ROBUSTNESS.md)",
+    )
+    p.add_argument("--matrix", choices=["small", "full"], default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--packets", type=int, default=300,
+                   help="data packets per cell")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="sending rate (packets/second)")
+    p.add_argument("--protocols", type=lambda v: v.split(","), default=None,
+                   metavar="NAME[,NAME...]",
+                   help="restrict the matrix's protocol axis")
+    p.add_argument("--out", type=str, default=None, metavar="FILE",
+                   help="write the text report to FILE")
+    p.add_argument("--json-out", type=str, default=None, dest="json_out",
+                   metavar="FILE",
+                   help="write the machine-readable report (JSON) to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report to stdout")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("ablation", help="Corollary / attack ablations")
     p.add_argument(

@@ -94,6 +94,14 @@ class ProtocolParams:
     #: catches intermittent (on/off) adversaries that dilute cumulative
     #: estimates with a clean history (see repro.core.windows).
     score_window: Optional[int] = None
+    #: Degraded-mode knob (docs/ROBUSTNESS.md): number of times a source
+    #: re-sends a probe whose report timed out before scoring the round as
+    #: lost. 0 (default) is the paper's behavior — every timeout scores
+    #: immediately. Retransmission only helps when the probe itself was
+    #: lost before reaching any state-holding node; nodes that already
+    #: reported have released their state (§7.4 storage bounds), so a
+    #: re-probe cannot regenerate a lost report.
+    probe_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.path_length <= 0:
@@ -123,6 +131,8 @@ class ProtocolParams:
             raise ConfigurationError("probe_delay must be non-negative")
         if self.score_window is not None and self.score_window <= 0:
             raise ConfigurationError("score_window must be positive")
+        if self.probe_retries < 0:
+            raise ConfigurationError("probe_retries must be non-negative")
 
     # -- derived quantities -------------------------------------------------
 
@@ -202,6 +212,7 @@ class ProtocolParams:
             "freshness_window": self.freshness_window,
             "probe_delay": self.probe_delay,
             "score_window": self.score_window,
+            "probe_retries": self.probe_retries,
         }
         fields.update(overrides)
         return ProtocolParams(**fields)

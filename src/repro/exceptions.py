@@ -55,5 +55,15 @@ class ProtocolError(ReproError):
     """A protocol agent received a packet it cannot process."""
 
 
+class TaskRetryError(ReproError):
+    """A parallel task kept failing after exhausting its retry budget.
+
+    Raised by the :mod:`repro.parallel` engine when a task unit has
+    failed (exception, worker crash, or timeout) ``max_attempts`` times
+    under a :class:`~repro.parallel.engine.RetryPolicy`. The original
+    failure is chained as ``__cause__``.
+    """
+
+
 class ConvergenceError(ReproError):
     """An experiment failed to reach the converged condition in its budget."""

@@ -27,9 +27,11 @@ See ``docs/PARALLEL.md`` for the execution model.
 
 from __future__ import annotations
 
+import hashlib  # repro: allow(CB001) -- checkpoint integrity fingerprint, not crypto
 import json
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -45,7 +47,7 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3_panel
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
-from repro.parallel.engine import run_tasks_completed
+from repro.parallel.engine import RetryPolicy, run_tasks_completed
 
 #: Scale presets: (table2 runs, figure2 runs, figure3 packets, ablation
 #: packets). ``abl_packets`` feeds every packet-driven ablation —
@@ -256,18 +258,51 @@ class ReproductionReport:
 # -- checkpoint / resume ----------------------------------------------------
 
 
+class CheckpointWarning(UserWarning):
+    """A checkpoint file was unreadable or corrupt and is being ignored."""
+
+
+def _records_checksum(records: List[dict]) -> str:
+    """Content fingerprint over the canonical records encoding."""
+    canonical = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _warn_corrupt(path: str, reason: str) -> None:
+    warnings.warn(
+        f"ignoring corrupt report checkpoint {path}: {reason}; "
+        "the affected experiments will be re-run from scratch",
+        CheckpointWarning,
+        stacklevel=3,
+    )
+
+
 def load_checkpoint(path: str, scale: str, seed: int) -> Dict[str, ExperimentRecord]:
     """Records from a prior partial report, keyed by experiment name.
 
-    Returns ``{}`` when ``path`` does not exist. A file that is not a
-    report checkpoint, or one written at a different scale/seed, raises
-    :class:`ConfigurationError` — resuming across configurations would
-    silently mix incomparable results.
+    Returns ``{}`` when ``path`` does not exist. A truncated, unparsable,
+    or checksum-mismatched checkpoint (e.g. a crash mid-write on a
+    filesystem without atomic rename) is *not* fatal: it emits a
+    :class:`CheckpointWarning` and returns ``{}``, so the resumed report
+    restarts the affected experiments instead of crashing.
+
+    Two error classes stay hard :class:`ConfigurationError`\\ s, because
+    they indicate the *caller* pointed at the wrong file rather than a
+    damaged one: a well-formed JSON file that is not a report checkpoint,
+    and a checkpoint written at a different scale/seed (resuming across
+    configurations would silently mix incomparable results).
     """
     if not os.path.exists(path):
         return {}
-    with open(path) as handle:
-        payload = json.load(handle)
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        _warn_corrupt(path, f"unreadable ({exc})")
+        return {}
+    if not isinstance(payload, dict):
+        _warn_corrupt(path, "top-level value is not an object")
+        return {}
     if payload.get("format") != CHECKPOINT_FORMAT:
         raise ConfigurationError(
             f"{path} is not a report checkpoint "
@@ -279,15 +314,24 @@ def load_checkpoint(path: str, scale: str, seed: int) -> Dict[str, ExperimentRec
             f"seed={payload.get('seed')!r}; cannot resume at scale={scale!r} "
             f"seed={seed!r}"
         )
-    return {
-        entry["name"]: ExperimentRecord(
-            name=entry["name"],
-            elapsed_seconds=entry["elapsed_seconds"],
-            text=entry["text"],
-            metrics=entry.get("metrics"),
-        )
-        for entry in payload.get("records", [])
-    }
+    records = payload.get("records", [])
+    stored = payload.get("checksum")
+    if stored is not None and stored != _records_checksum(records):
+        _warn_corrupt(path, "records checksum mismatch")
+        return {}
+    try:
+        return {
+            entry["name"]: ExperimentRecord(
+                name=entry["name"],
+                elapsed_seconds=entry["elapsed_seconds"],
+                text=entry["text"],
+                metrics=entry.get("metrics"),
+            )
+            for entry in records
+        }
+    except (TypeError, KeyError) as exc:
+        _warn_corrupt(path, f"malformed record entry ({exc!r})")
+        return {}
 
 
 def write_checkpoint(
@@ -297,24 +341,31 @@ def write_checkpoint(
     specs: List[ExperimentSpec],
     completed: Dict[str, ExperimentRecord],
 ) -> None:
-    """Atomically persist the completed records (in canonical spec order)."""
+    """Atomically persist the completed records (in canonical spec order).
+
+    The payload carries a sha256 checksum over the canonical records
+    encoding so :func:`load_checkpoint` can detect truncation or bit-rot
+    that still parses as JSON.
+    """
+    records = [
+        {
+            "name": record.name,
+            "elapsed_seconds": record.elapsed_seconds,
+            "text": record.text,
+            "metrics": record.metrics,
+        }
+        for record in (
+            completed[spec.name] for spec in specs
+            if spec.name in completed
+        )
+    ]
     payload = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
         "scale": scale,
         "seed": seed,
-        "records": [
-            {
-                "name": record.name,
-                "elapsed_seconds": record.elapsed_seconds,
-                "text": record.text,
-                "metrics": record.metrics,
-            }
-            for record in (
-                completed[spec.name] for spec in specs
-                if spec.name in completed
-            )
-        ],
+        "checksum": _records_checksum(records),
+        "records": records,
     }
     staging = f"{path}.tmp"
     with open(staging, "w") as handle:
@@ -333,6 +384,7 @@ def run_all(
     collect_metrics: bool = False,
     jobs: int = 1,
     resume_path: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ReproductionReport:
     """Regenerate everything at the given scale ('smoke', 'quick', 'full').
 
@@ -343,6 +395,10 @@ def run_all(
     ``resume_path`` names a checkpoint file: experiments already recorded
     there are skipped, and every newly finished experiment is persisted
     to it immediately (so a crashed report resumes where it stopped).
+    ``retry`` hardens execution against crashed or wedged workers: failed
+    experiments are re-run on a fresh pool up to the policy's attempt
+    budget (experiments are pure functions of their spec, so a retried
+    report is identical to an undisturbed one).
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
@@ -355,7 +411,9 @@ def run_all(
         (spec.name, spec.task, dict(spec.kwargs), collect_metrics)
         for spec in pending
     ]
-    for _, record in run_tasks_completed(_execute_spec, payloads, jobs=jobs):
+    for _, record in run_tasks_completed(
+        _execute_spec, payloads, jobs=jobs, retry=retry
+    ):
         completed[record.name] = record
         if resume_path:
             write_checkpoint(resume_path, scale, seed, specs, completed)

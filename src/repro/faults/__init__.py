@@ -1,0 +1,46 @@
+"""Seed-deterministic fault injection (docs/ROBUSTNESS.md).
+
+Declarative :class:`FaultSpec` specs compile into :class:`FaultSchedule`
+artifacts whose randomness comes only from labeled
+:class:`repro.net.rng.RngFactory` streams; :class:`FaultInjector` wires a
+schedule into a path through the public Link/Node hook APIs. The chaos
+harness (:mod:`repro.experiments.chaos`, ``repro-aai chaos``) runs named
+fault matrices against the protocols and gates on zero unhandled
+exceptions and zero confident false accusations of honest nodes.
+"""
+
+from repro.faults.injectors import (
+    FaultInjector,
+    corrupt_packet,
+    flip_byte,
+    install_faults,
+)
+from repro.faults.schedule import CompiledClause, FaultSchedule, compile_spec
+from repro.faults.spec import (
+    FAULT_KINDS,
+    LINK_KINDS,
+    NODE_KINDS,
+    PRESETS,
+    FaultClause,
+    FaultSpec,
+    baseline_spec,
+    preset,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "LINK_KINDS",
+    "NODE_KINDS",
+    "PRESETS",
+    "CompiledClause",
+    "FaultClause",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "baseline_spec",
+    "compile_spec",
+    "corrupt_packet",
+    "flip_byte",
+    "install_faults",
+    "preset",
+]

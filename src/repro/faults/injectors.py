@@ -1,0 +1,263 @@
+"""Simulator-level fault injectors.
+
+:class:`FaultInjector` installs a compiled
+:class:`~repro.faults.schedule.FaultSchedule` onto a wired
+:class:`~repro.net.path.Path` using only public hook APIs:
+
+* link clauses via :class:`repro.net.link.LinkInterceptor`
+  (:meth:`Link.add_interceptor`) — blackout windows consume packets,
+  corruption replaces them, jitter holds them back and re-injects them
+  later, duplication schedules a delayed extra transmit;
+* crash clauses via ``Node.fault_gate`` — traffic through the node is
+  discarded inside each window, and a restart event clears the node's
+  packet store at the window end (state held in RAM does not survive);
+* clock clauses via engine events that step or drift the node's
+  :class:`~repro.net.clock.NodeClock`.
+
+Injected faults are accounted separately from both natural link loss and
+adversarial node drops: they increment ``faults.injected`` counters (and
+the injector's :attr:`FaultInjector.injected` dict), never the link's
+natural-loss stats nor ``path.stats.node_drop_stats`` — those two are the
+ground truth the estimators and experiments are calibrated against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.faults.schedule import CompiledClause, FaultSchedule
+from repro.faults.spec import FaultSpec
+from repro.net.link import Link, LinkInterceptor
+from repro.net.node import Node
+from repro.net.packets import AckPacket, Direction, Packet
+from repro.net.path import Path
+from repro.net.rng import RngFactory
+from repro.obs.registry import get_registry
+
+
+def flip_byte(data: bytes, stream: random.Random) -> bytes:
+    """Return ``data`` with one byte XOR-flipped (never a no-op)."""
+    if not data:
+        return b"\x00"
+    index = stream.randrange(len(data))
+    mask = stream.randrange(1, 256)
+    return data[:index] + bytes([data[index] ^ mask]) + data[index + 1:]
+
+
+def corrupt_packet(packet: Packet, stream: random.Random) -> Packet:
+    """Return a corrupted copy of ``packet``.
+
+    Acks get a byte of their report blob flipped (exercising MAC, onion,
+    and oblivious verification-failure paths); data packets and probes
+    get their identifier flipped, modeling altered content hashing to a
+    different ``H(m)`` — per §5, alteration is equivalent to a drop.
+    """
+    if isinstance(packet, AckPacket):
+        return AckPacket.create(
+            identifier=packet.identifier,
+            report=flip_byte(packet.report, stream),
+            origin=packet.origin,
+            sequence=packet.sequence,
+            is_report=packet.is_report,
+        )
+    return replace(packet, identifier=flip_byte(packet.identifier, stream))
+
+
+class FaultInjector(LinkInterceptor):
+    """Installs a fault schedule onto a path and accounts injections.
+
+    One injector instance serves the whole path; link interception is
+    routed by link index. Build it, then call :meth:`install` once the
+    path's nodes are attached (clocks must exist for clock faults).
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        #: Injection counts by fault kind (plain data, registry-free).
+        self.injected: Dict[str, int] = {}
+        self._path: Optional[Path] = None
+        self._clauses_by_link: Dict[int, List[CompiledClause]] = {}
+        self._crash_windows: Dict[int, Tuple[Tuple[float, float], ...]] = {}
+        #: Packets re-injected by jitter/duplication: pass through
+        #: untouched on their second trip into ``transmit``.
+        self._passthrough: Set[int] = set()
+        registry = get_registry()
+        self._metrics = registry if registry.enabled else None
+
+    # -- installation ------------------------------------------------------
+
+    def install(self, path: Path) -> None:
+        """Wire the schedule into ``path`` (idempotent per injector)."""
+        if not path.nodes:
+            raise ConfigurationError(
+                "install() needs an attached path (call attach_nodes first)"
+            )
+        self._path = path
+        for link_index in self.schedule.link_targets:
+            if link_index >= path.length:
+                raise ConfigurationError(
+                    f"fault spec targets link {link_index} but the path "
+                    f"has only {path.length} links"
+                )
+            self._clauses_by_link[link_index] = self.schedule.link_clauses(
+                link_index
+            )
+            path.links[link_index].add_interceptor(self)
+        for position in self.schedule.node_targets:
+            if position > path.length:
+                raise ConfigurationError(
+                    f"fault spec targets node {position} but the path has "
+                    f"only {path.length + 1} nodes"
+                )
+        self._install_crashes(path)
+        self._install_clock_events(path)
+
+    def _install_crashes(self, path: Path) -> None:
+        for position in self.schedule.node_targets:
+            windows = self.schedule.crash_windows(position)
+            if not windows:
+                continue
+            node = path.nodes[position]
+            self._crash_windows[position] = windows
+            node.fault_gate = self._gate
+            for _, end in windows:
+                self._schedule_restart(path, node, end)
+
+    def _schedule_restart(self, path: Path, node: Node, end: float) -> None:
+        def restart() -> None:
+            # A restarted node loses all RAM-held per-packet state.
+            node.store.clear(path.simulator.now)
+
+        path.simulator.schedule_at(end, restart)
+
+    def _install_clock_events(self, path: Path) -> None:
+        for time, position, kind, magnitude in self.schedule.clock_events():
+            node = path.nodes[position]
+
+            def apply(node=node, kind=kind, magnitude=magnitude,
+                      time=time) -> None:
+                if node.clock is None:
+                    return
+                if kind == "clock-step":
+                    node.clock.step(magnitude)
+                else:
+                    node.clock.set_drift(magnitude, origin=time)
+                self._count(kind)
+
+            path.simulator.schedule_at(time, apply)
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, kind: str, **labels: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if self._metrics is not None:
+            self._metrics.counter("faults.injected", kind=kind, **labels).inc()
+
+    # -- node gate (crash windows) ----------------------------------------
+
+    def _gate(self, node: Node, packet: Packet, direction: Direction,
+              stage: str) -> bool:
+        windows = self._crash_windows.get(node.position, ())
+        now = node.path.simulator.now
+        for start, end in windows:
+            if start <= now < end:
+                self._count("crash", node=str(node.position), stage=stage)
+                return False
+        return True
+
+    # -- link interception -------------------------------------------------
+
+    def before_transmit(self, link: Link, packet: Packet,
+                        direction: Direction) -> Optional[Packet]:
+        marker = id(packet)
+        if marker in self._passthrough:
+            self._passthrough.discard(marker)
+            return packet
+        for compiled in self._clauses_by_link.get(link.index, ()):
+            clause = compiled.clause
+            if clause.direction is not None and clause.direction != direction.value:
+                continue
+            if clause.packet_kinds and packet.kind.value not in clause.packet_kinds:
+                continue
+            if clause.kind == "blackout":
+                if self._in_window(compiled, link):
+                    self._count("blackout", link=str(link.index),
+                                direction=direction.value)
+                    return None
+            elif clause.kind == "corrupt":
+                stream = self.schedule.stream(compiled)
+                if stream.random() < clause.probability:
+                    self._count("corrupt", link=str(link.index),
+                                direction=direction.value)
+                    packet = corrupt_packet(packet, stream)
+            elif clause.kind == "jitter":
+                stream = self.schedule.stream(compiled)
+                if stream.random() < clause.probability:
+                    delay = stream.uniform(0.0, clause.magnitude)
+                    self._count("jitter", link=str(link.index),
+                                direction=direction.value)
+                    self._reinject(link, packet, direction, delay)
+                    return None
+            elif clause.kind == "duplicate":
+                stream = self.schedule.stream(compiled)
+                if stream.random() < clause.probability:
+                    delay = stream.uniform(0.0, max(clause.magnitude, 1e-9))
+                    self._count("duplicate", link=str(link.index),
+                                direction=direction.value)
+                    self._reinject(link, packet, direction, delay)
+        return packet
+
+    def _in_window(self, compiled: CompiledClause, link: Link) -> bool:
+        if self._path is None:
+            return False
+        now = self._path.simulator.now
+        for start, end in compiled.windows:
+            if start <= now < end:
+                return True
+        return False
+
+    def _reinject(self, link: Link, packet: Packet, direction: Direction,
+                  delay: float) -> None:
+        """Schedule ``packet`` to enter ``link`` again after ``delay``,
+        bypassing fault processing on the second trip."""
+
+        def retransmit() -> None:
+            self._passthrough.add(id(packet))
+            try:
+                link.transmit(packet, direction)
+            finally:
+                self._passthrough.discard(id(packet))
+
+        link.simulator.schedule_in(delay, retransmit)
+
+    # -- teardown ----------------------------------------------------------
+
+    def uninstall(self) -> None:
+        """Detach link interceptors and node gates (scheduled clock and
+        restart events, if still pending, fire harmlessly)."""
+        if self._path is None:
+            return
+        for link_index in list(self._clauses_by_link):
+            self._path.links[link_index].remove_interceptor(self)
+        for position in list(self._crash_windows):
+            self._path.nodes[position].fault_gate = None
+        self._clauses_by_link.clear()
+        self._crash_windows.clear()
+
+
+def install_faults(
+    path: Path,
+    spec: FaultSpec,
+    factory: Optional[RngFactory] = None,
+) -> FaultInjector:
+    """Compile ``spec`` against the path's simulator RNG (or ``factory``)
+    and install the resulting schedule. Returns the injector for
+    accounting and teardown."""
+    if factory is None:
+        factory = path.simulator.rng
+    injector = FaultInjector(FaultSchedule(spec, factory))
+    injector.install(path)
+    return injector

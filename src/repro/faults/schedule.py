@@ -1,0 +1,189 @@
+"""Compiling fault specs into concrete, seed-deterministic schedules.
+
+A :class:`FaultSchedule` turns the declarative clauses of a
+:class:`~repro.faults.spec.FaultSpec` into concrete artifacts:
+
+* **windows** — explicit ``[start, end)`` intervals for blackout and
+  crash clauses (drawn uniformly over the spec horizon when the clause
+  gives no explicit times);
+* **clock events** — ``(time, node, kind, magnitude)`` tuples for clock
+  steps and drift onsets;
+* **per-packet streams** — one dedicated ``random.Random`` stream per
+  probabilistic clause (duplicate/jitter/corrupt), consumed by the
+  injectors at interception time.
+
+Every draw comes from a labeled :class:`repro.net.rng.RngFactory` stream
+derived from ``factory.spawn(f"faults:{spec.name}")``, so the schedule —
+and, given identical traffic, every per-packet decision — is a pure
+function of (seed, spec). :meth:`FaultSchedule.describe` returns the
+precomputed artifacts as plain data; determinism tests compare it across
+runs, and the chaos report embeds it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.spec import FaultClause, FaultSpec, LINK_KINDS, NODE_KINDS
+from repro.net.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class CompiledClause:
+    """One clause with its schedule-time artifacts resolved."""
+
+    #: Position of the clause in the spec (stable identity for streams).
+    index: int
+    clause: FaultClause
+    #: ``[start, end)`` windows (blackout/crash) in schedule order.
+    windows: Tuple[Tuple[float, float], ...] = ()
+    #: Event times (clock-step/clock-drift).
+    times: Tuple[float, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return self.clause.kind
+
+    @property
+    def target(self) -> int:
+        return self.clause.target
+
+
+class FaultSchedule:
+    """A fault spec compiled against one experiment's RNG factory.
+
+    Parameters
+    ----------
+    spec:
+        The declarative fault specification.
+    factory:
+        The experiment's root :class:`RngFactory` (typically
+        ``simulator.rng``); the schedule spawns its own sub-factory so
+        fault draws never perturb link/adversary/protocol streams.
+    """
+
+    def __init__(self, spec: FaultSpec, factory: RngFactory) -> None:
+        self.spec = spec
+        self._factory = factory.spawn(f"faults:{spec.name}")
+        self.compiled: List[CompiledClause] = []
+        self._streams: Dict[int, random.Random] = {}
+        for index, clause in enumerate(spec.clauses):
+            self.compiled.append(self._compile(index, clause))
+            if clause.kind in ("duplicate", "jitter", "corrupt"):
+                self._streams[index] = self._factory.stream(
+                    f"clause-{index}:{clause.kind}"
+                )
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, index: int, clause: FaultClause) -> CompiledClause:
+        if clause.kind in ("blackout", "crash"):
+            return CompiledClause(
+                index=index, clause=clause,
+                windows=self._place_windows(index, clause),
+            )
+        if clause.kind in ("clock-step", "clock-drift"):
+            if clause.at:
+                times = clause.at
+            else:
+                stream = self._factory.stream(f"clause-{index}:times")
+                times = (stream.uniform(0.0, self.spec.horizon),)
+            return CompiledClause(index=index, clause=clause, times=times)
+        return CompiledClause(index=index, clause=clause)
+
+    def _place_windows(
+        self, index: int, clause: FaultClause
+    ) -> Tuple[Tuple[float, float], ...]:
+        duration = clause.magnitude
+        if clause.at:
+            starts = list(clause.at)
+        else:
+            stream = self._factory.stream(f"clause-{index}:windows")
+            span = max(self.spec.horizon - duration, 0.0)
+            starts = [stream.uniform(0.0, span) for _ in range(clause.windows)]
+        starts.sort()
+        return tuple((start, start + duration) for start in starts)
+
+    # -- lookup ------------------------------------------------------------
+
+    def stream(self, compiled: CompiledClause) -> random.Random:
+        """The dedicated per-packet stream for a probabilistic clause."""
+        return self._streams[compiled.index]
+
+    def link_clauses(self, link_index: int) -> List[CompiledClause]:
+        """Compiled link clauses targeting ``link_index``, in spec order."""
+        return [
+            compiled for compiled in self.compiled
+            if compiled.kind in LINK_KINDS and compiled.target == link_index
+        ]
+
+    def crash_windows(self, position: int) -> Tuple[Tuple[float, float], ...]:
+        """Merged crash windows for node ``position``, sorted by start."""
+        windows: List[Tuple[float, float]] = []
+        for compiled in self.compiled:
+            if compiled.kind == "crash" and compiled.target == position:
+                windows.extend(compiled.windows)
+        windows.sort()
+        return tuple(windows)
+
+    def clock_events(self) -> List[Tuple[float, int, str, float]]:
+        """All ``(time, node, kind, magnitude)`` clock events, time order."""
+        events: List[Tuple[float, int, str, float]] = []
+        for compiled in self.compiled:
+            if compiled.kind in ("clock-step", "clock-drift"):
+                for time in compiled.times:
+                    events.append(
+                        (time, compiled.target, compiled.kind,
+                         compiled.clause.magnitude)
+                    )
+        events.sort()
+        return events
+
+    @property
+    def link_targets(self) -> List[int]:
+        """Sorted link indices that have at least one clause."""
+        return sorted(
+            {c.target for c in self.compiled if c.kind in LINK_KINDS}
+        )
+
+    @property
+    def node_targets(self) -> List[int]:
+        """Sorted node positions with crash or clock clauses."""
+        return sorted(
+            {c.target for c in self.compiled if c.kind in NODE_KINDS}
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Plain-data schedule summary (determinism artifact).
+
+        Two runs with the same seed and spec produce byte-identical
+        JSON for this structure.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "seed": self._factory.seed,
+            "clauses": [
+                {
+                    "index": compiled.index,
+                    "kind": compiled.kind,
+                    "target": compiled.target,
+                    "windows": [list(w) for w in compiled.windows],
+                    "times": list(compiled.times),
+                }
+                for compiled in self.compiled
+            ],
+        }
+
+
+def compile_spec(
+    spec: FaultSpec, factory: Optional[RngFactory] = None, seed: int = 0
+) -> FaultSchedule:
+    """Convenience: compile ``spec`` against ``factory`` (or a fresh
+    :class:`RngFactory` built from ``seed``)."""
+    if factory is None:
+        factory = RngFactory(seed)
+    return FaultSchedule(spec, factory)

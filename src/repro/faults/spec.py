@@ -1,0 +1,355 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` names a set of *fault clauses* to inject into one
+simulated run: link blackout windows, packet duplication, delay jitter,
+payload/report corruption, node crash/restart windows, and clock
+steps/drift. Specs are plain data (dict/JSON round-trippable) so a chaos
+matrix is reviewable configuration, not code; compiling a spec into
+concrete windows and per-packet coin flips happens in
+:mod:`repro.faults.schedule`, where every random draw comes from a
+labeled :class:`repro.net.rng.RngFactory` stream — same seed + same spec
+always yields the same fault schedule.
+
+Taxonomy (docs/ROBUSTNESS.md):
+
+=============  ======  ==============================================
+kind           target  meaning
+=============  ======  ==============================================
+``blackout``   link    full loss on the link during burst windows
+``duplicate``  link    per-packet chance of a delayed extra copy
+``jitter``     link    per-packet chance of extra head-of-line delay
+``corrupt``    link    per-packet chance of a flipped byte (payload,
+                       report, or MAC — alteration == drop, §5)
+``crash``      node    node discards all traffic during windows, then
+                       restarts with an empty packet store
+``clock-step`` node    node clock jumps by ``magnitude`` seconds
+``clock-drift`` node   node clock gains ``magnitude`` s/s from ``at``
+=============  ======  ==============================================
+
+Links are FIFO per direction and the protocols rely on probe-after-data
+ordering, so "reordering" is modeled as head-of-line *jitter* (extra
+delay before the FIFO clamp) — true packet reordering is outside the
+paper's link model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from dataclasses import replace as field_replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Fault kinds that attach to a link (``target`` is a link index).
+LINK_KINDS = ("blackout", "duplicate", "jitter", "corrupt")
+#: Fault kinds that attach to a node (``target`` is a node position).
+NODE_KINDS = ("crash", "clock-step", "clock-drift")
+#: All recognized fault kinds.
+FAULT_KINDS = LINK_KINDS + NODE_KINDS
+
+#: Valid ``direction`` filters for link clauses.
+DIRECTIONS = ("forward", "reverse")
+#: Valid ``packet_kinds`` filters for link clauses.
+PACKET_KINDS = ("data", "probe", "ack")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One normalized fault clause.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        Link index (link kinds) or node position (node kinds).
+    probability:
+        Per-eligible-packet fault probability (duplicate/jitter/corrupt).
+    magnitude:
+        Seconds for jitter delay bound, blackout/crash window duration,
+        and clock steps; seconds-per-second for ``clock-drift``.
+    windows:
+        Number of windows to place (blackout/crash) when ``at`` is empty.
+    at:
+        Explicit event/window start times; empty means the schedule draws
+        them uniformly over the spec horizon from its RNG stream.
+    direction:
+        Restrict a link clause to one direction (None = both).
+    packet_kinds:
+        Restrict a link clause to packet kinds (empty = all).
+    """
+
+    kind: str
+    target: int
+    probability: float = 0.0
+    magnitude: float = 0.0
+    windows: int = 0
+    at: Tuple[float, ...] = ()
+    direction: Optional[str] = None
+    packet_kinds: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.target < 0:
+            raise ConfigurationError(
+                f"{self.kind}: target must be >= 0, got {self.target}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"{self.kind}: probability must be in [0, 1], "
+                f"got {self.probability}"
+            )
+        if self.kind in ("duplicate", "jitter", "corrupt") and self.probability == 0.0:
+            raise ConfigurationError(
+                f"{self.kind}: per-packet clause needs probability > 0"
+            )
+        if self.kind in ("blackout", "crash"):
+            if self.magnitude <= 0.0:
+                raise ConfigurationError(
+                    f"{self.kind}: needs a positive window duration "
+                    "(magnitude, seconds)"
+                )
+            if self.windows <= 0 and not self.at:
+                raise ConfigurationError(
+                    f"{self.kind}: needs windows > 0 or explicit `at` times"
+                )
+        if self.kind == "jitter" and self.magnitude <= 0.0:
+            raise ConfigurationError(
+                "jitter: needs a positive max extra delay (magnitude)"
+            )
+        if self.kind == "clock-step" and self.magnitude == 0.0:
+            raise ConfigurationError("clock-step: needs a nonzero step")
+        if self.kind == "clock-drift" and self.magnitude == 0.0:
+            raise ConfigurationError("clock-drift: needs a nonzero rate")
+        if self.direction is not None and self.direction not in DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {DIRECTIONS}, got {self.direction!r}"
+            )
+        if self.direction is not None and self.kind in NODE_KINDS:
+            raise ConfigurationError(
+                f"{self.kind}: node clauses take no direction filter"
+            )
+        for packet_kind in self.packet_kinds:
+            if packet_kind not in PACKET_KINDS:
+                raise ConfigurationError(
+                    f"packet kind must be one of {PACKET_KINDS}, "
+                    f"got {packet_kind!r}"
+                )
+        if self.packet_kinds and self.kind in NODE_KINDS:
+            raise ConfigurationError(
+                f"{self.kind}: node clauses take no packet-kind filter"
+            )
+        for time in self.at:
+            if time < 0.0:
+                raise ConfigurationError(
+                    f"{self.kind}: `at` times must be >= 0, got {time}"
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form (stable key order, defaults omitted)."""
+        out: Dict[str, Any] = {"kind": self.kind, "target": self.target}
+        if self.probability:
+            out["probability"] = self.probability
+        if self.magnitude:
+            out["magnitude"] = self.magnitude
+        if self.windows:
+            out["windows"] = self.windows
+        if self.at:
+            out["at"] = list(self.at)
+        if self.direction is not None:
+            out["direction"] = self.direction
+        if self.packet_kinds:
+            out["packet_kinds"] = list(self.packet_kinds)
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultClause":
+        known = {
+            "kind", "target", "probability", "magnitude", "windows", "at",
+            "direction", "packet_kinds",
+        }
+        extra = sorted(set(raw) - known)
+        if extra:
+            raise ConfigurationError(
+                f"unknown fault clause keys: {', '.join(extra)}"
+            )
+        if "kind" not in raw or "target" not in raw:
+            raise ConfigurationError("fault clause needs `kind` and `target`")
+        return cls(
+            kind=str(raw["kind"]),
+            target=int(raw["target"]),
+            probability=float(raw.get("probability", 0.0)),
+            magnitude=float(raw.get("magnitude", 0.0)),
+            windows=int(raw.get("windows", 0)),
+            at=tuple(float(t) for t in raw.get("at", ())),
+            direction=raw.get("direction"),
+            packet_kinds=tuple(str(k) for k in raw.get("packet_kinds", ())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, declarative set of fault clauses for one run.
+
+    ``horizon`` is the simulated-time span (seconds) over which the
+    schedule places randomly-timed windows and clock events; clauses with
+    explicit ``at`` times ignore it.
+    """
+
+    name: str
+    clauses: Tuple[FaultClause, ...] = ()
+    horizon: float = 10.0
+    description: str = ""
+    #: Free-form tag: "benign" schedules stay within the paper's fault
+    #: assumptions (no false accusation expected); anything else may
+    #: legitimately shift estimates and is only required not to crash.
+    benign: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("fault spec needs a name")
+        if self.horizon <= 0.0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {self.horizon}"
+            )
+
+    def with_horizon(self, horizon: float) -> "FaultSpec":
+        """Copy of this spec with window/event placement spanning
+        ``horizon`` seconds (the chaos runner sets it to the traffic
+        span so randomly-placed windows land inside the run). Window
+        *durations* and explicit ``at`` times are absolute and unchanged."""
+        return field_replace(self, horizon=float(horizon))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "benign": self.benign,
+            "horizon": self.horizon,
+            "clauses": [clause.to_dict() for clause in self.clauses],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultSpec":
+        known = {"name", "description", "benign", "horizon", "clauses"}
+        extra = sorted(set(raw) - known)
+        if extra:
+            raise ConfigurationError(
+                f"unknown fault spec keys: {', '.join(extra)}"
+            )
+        clauses = raw.get("clauses", ())
+        if isinstance(clauses, (str, bytes)) or not isinstance(
+            clauses, Sequence
+        ):
+            raise ConfigurationError("`clauses` must be a list of clauses")
+        return cls(
+            name=str(raw.get("name", "")),
+            description=str(raw.get("description", "")),
+            benign=bool(raw.get("benign", True)),
+            horizon=float(raw.get("horizon", 120.0)),
+            clauses=tuple(FaultClause.from_dict(c) for c in clauses),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"fault spec is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ConfigurationError("fault spec JSON must be an object")
+        return cls.from_dict(raw)
+
+
+def _benign(name: str, description: str, clauses, horizon: float = 120.0,
+            benign: bool = True) -> FaultSpec:
+    return FaultSpec(
+        name=name, description=description, benign=benign,
+        horizon=horizon, clauses=tuple(clauses),
+    )
+
+
+def baseline_spec() -> FaultSpec:
+    """No injected faults at all — the control cell of every matrix."""
+    return _benign("baseline", "no injected faults (control)", ())
+
+
+#: Named example specs used by the chaos matrices and the property suite.
+#: Rates are deliberately small relative to the calibration margin
+#: ``epsilon/2`` so benign schedules stay within the paper's assumptions.
+PRESETS: Dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        baseline_spec(),
+        _benign(
+            "benign-jitter",
+            "5% of packets on link 1 gain up to 2ms of head-of-line "
+            "delay — well inside the timers' worst-case allowance",
+            [FaultClause(kind="jitter", target=1, probability=0.05,
+                         magnitude=0.002)],
+        ),
+        _benign(
+            "benign-dup",
+            "2% of packets on link 0 are duplicated shortly after",
+            [FaultClause(kind="duplicate", target=0, probability=0.02,
+                         magnitude=0.002)],
+        ),
+        _benign(
+            "burst-blackout",
+            "two 30ms full-loss bursts on link 2 (forward) — total "
+            "blackout time stays below the epsilon/2 calibration margin",
+            [FaultClause(kind="blackout", target=2, direction="forward",
+                         windows=2, magnitude=0.03)],
+        ),
+        _benign(
+            "clock-skew",
+            "node 2's clock steps by a third of the default freshness "
+            "window mid-run (within the loose-sync bound)",
+            [FaultClause(kind="clock-step", target=2, magnitude=0.02)],
+        ),
+        _benign(
+            "crash-restart",
+            "node 3 crashes for two 40ms windows and restarts with an "
+            "empty store",
+            [FaultClause(kind="crash", target=3, windows=2, magnitude=0.04)],
+        ),
+        _benign(
+            "corrupt-acks",
+            "0.5% of acks on link 1 (reverse) get one byte flipped — "
+            "exercises MAC/onion/oblivious verification-failure paths; "
+            "alteration == drop (§5), so this is adversarial, not benign",
+            [FaultClause(kind="corrupt", target=1, direction="reverse",
+                         probability=0.005, packet_kinds=("ack",))],
+            benign=False,
+        ),
+        _benign(
+            "clock-wild",
+            "node 1's clock steps far beyond the loose-sync bound and "
+            "drifts — degraded accuracy allowed, crashes are not",
+            [
+                FaultClause(kind="clock-step", target=1, magnitude=5.0),
+                FaultClause(kind="clock-drift", target=1, magnitude=0.01),
+            ],
+            benign=False,
+        ),
+    )
+}
+
+
+def preset(name: str) -> FaultSpec:
+    """Look up a named preset spec."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; available: "
+            f"{', '.join(sorted(PRESETS))}"
+        ) from None

@@ -23,6 +23,13 @@ transmission, natural loss, and delivery without touching link internals
 events: the delivery callback is resolved when the packet *arrives*, not
 when it was sent. With a metrics registry active at construction, links
 also publish per-link transmission/loss/byte counters.
+
+Fault injection: a second, *mutating* hook stage — :class:`LinkInterceptor`
+via :meth:`Link.add_interceptor` — runs at the head of ``transmit`` and may
+consume or replace the packet (blackouts, corruption, jitter/duplication in
+``repro.faults``). Interceptors see the packet before any accounting, so
+injected faults never pollute the natural-loss statistics the estimators
+are calibrated against.
 """
 
 from __future__ import annotations
@@ -56,6 +63,25 @@ class LinkObserver:
     def on_deliver(self, link: "Link", packet: Packet,
                    direction: Direction) -> None:
         """``packet`` is being handed to the receiving node."""
+
+
+class LinkInterceptor:
+    """Mutating hook consulted at the head of :meth:`Link.transmit`.
+
+    Observers (:class:`LinkObserver`) are read-only by contract; fault
+    injection needs to *change* traffic — swallow a packet during a
+    blackout window, replace it with a corrupted copy, or hold it back and
+    re-inject it later (``repro.faults``). Interceptors run before the
+    link's stats/listeners/loss draw, so a consumed packet never counts as
+    a transmission: injected faults are accounted by the injector's own
+    metrics, not by the link's natural-loss statistics.
+    """
+
+    def before_transmit(self, link: "Link", packet: Packet,
+                        direction: Direction) -> Optional[Packet]:
+        """Return the packet to carry (possibly replaced), or None to
+        consume it before it enters the link."""
+        return packet
 
 
 class _LinkMetrics:
@@ -132,6 +158,7 @@ class Link:
             Direction.REVERSE: None,
         }
         self._listeners: List[LinkObserver] = []
+        self._interceptors: List[LinkInterceptor] = []
         registry = get_registry()
         self._metrics: Optional[_LinkMetrics] = (
             _LinkMetrics(registry, index) if registry.enabled else None
@@ -154,6 +181,22 @@ class Link:
     @property
     def listeners(self) -> List[LinkObserver]:
         return list(self._listeners)
+
+    def add_interceptor(self, interceptor: LinkInterceptor) -> None:
+        """Register a :class:`LinkInterceptor`; adding twice is a no-op."""
+        if interceptor not in self._interceptors:
+            self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: LinkInterceptor) -> None:
+        """Unregister an interceptor; removing an absent one is a no-op."""
+        try:
+            self._interceptors.remove(interceptor)
+        except ValueError:
+            pass
+
+    @property
+    def interceptors(self) -> List[LinkInterceptor]:
+        return list(self._interceptors)
 
     # -- wiring ------------------------------------------------------------
 
@@ -182,6 +225,11 @@ class Link:
         """
         if self._receivers[direction] is None:
             raise ConfigurationError(f"link {self.index} has no {direction} receiver")
+        for interceptor in self._interceptors:
+            replacement = interceptor.before_transmit(self, packet, direction)
+            if replacement is None:
+                return False
+            packet = replacement
         self.stats.record_transmission(packet, direction)
         metrics = self._metrics
         if metrics is not None:
@@ -222,3 +270,8 @@ class Link:
     @property
     def max_one_way_latency(self) -> float:
         return self._latency.maximum
+
+    @property
+    def simulator(self):
+        """The engine this link schedules on (for interceptor tooling)."""
+        return self._simulator

@@ -18,9 +18,16 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.exceptions import ProtocolError, SimulationError
+from repro.exceptions import CryptoError, ProtocolError, SimulationError
 from repro.net.clock import NodeClock
 from repro.net.packets import Direction, Packet
+from repro.obs.registry import get_registry
+
+#: Signature of the fault-injection gate installed by ``repro.faults``:
+#: ``gate(node, packet, direction, stage) -> bool`` where ``stage`` is
+#: ``"ingress"`` or ``"egress"``; returning False discards the packet
+#: (e.g. the node is inside a crash window).
+FaultGate = Callable[["Node", Packet, Direction, str], bool]
 
 
 class PacketStore:
@@ -91,9 +98,19 @@ class Node:
         #: Adversary strategy controlling this node, or None when honest.
         self.adversary = None
         self.clock: Optional[NodeClock] = None
+        #: Fault-injection gate (``repro.faults``), or None when healthy.
+        self.fault_gate: Optional[FaultGate] = None
+        #: Degraded-mode events survived by this node (malformed input
+        #: dropped instead of raised); mirrored by ``protocol.faults_seen``.
+        self.faults_seen = 0
+        #: Per-kind breakdown of :attr:`faults_seen`.
+        self.fault_counts: Dict[str, int] = {}
         self._uplink = None  # link l_{i-1}, toward the source
         self._downlink = None  # link l_i, toward the destination
         self._path = None
+        self._obs_faults = get_registry().counter(
+            "protocol.faults_seen", node=str(position)
+        )
 
     # -- wiring ----------------------------------------------------------
 
@@ -123,8 +140,26 @@ class Node:
         """Protocol logic: handle a packet delivered to this node."""
         raise NotImplementedError
 
+    def record_fault(self, kind: str) -> None:
+        """Account a degraded-mode event (survived fault) on this node."""
+        self.faults_seen += 1
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        self._obs_faults.inc()
+
     def deliver(self, packet: Packet, direction: Direction) -> None:
-        """Ingress from a link (engine callback)."""
+        """Ingress from a link (engine callback).
+
+        Degraded mode: a malformed, corrupted, or replayed packet that
+        makes protocol logic raise :class:`CryptoError`/:class:`ProtocolError`
+        is dropped and counted (``protocol.faults_seen``) instead of
+        escaping into the event loop — a router does not crash on a bad
+        packet. Engine/configuration errors still propagate: those are
+        bugs, not traffic.
+        """
+        if self.fault_gate is not None and not self.fault_gate(
+            self, packet, direction, "ingress"
+        ):
+            return
         if self.adversary is not None:
             processed = self.adversary.process_ingress(self, packet, direction)
             if processed is None:
@@ -134,7 +169,10 @@ class Node:
                 self.path.notify_node_drop(self, packet, direction, "ingress")
                 return
             packet = processed
-        self.on_packet(packet, direction)
+        try:
+            self.on_packet(packet, direction)
+        except (CryptoError, ProtocolError) as exc:
+            self.record_fault(type(exc).__name__)
 
     def send_forward(self, packet: Packet) -> None:
         """Egress toward the destination on link ``l_position``."""
@@ -151,6 +189,10 @@ class Node:
         self._egress(packet, self._uplink, Direction.REVERSE)
 
     def _egress(self, packet: Packet, link, direction: Direction) -> None:
+        if self.fault_gate is not None and not self.fault_gate(
+            self, packet, direction, "egress"
+        ):
+            return
         if self.adversary is not None:
             processed = self.adversary.process(self, packet, direction)
             if processed is None:

@@ -16,6 +16,7 @@ See ``docs/PARALLEL.md``.
 """
 
 from repro.parallel.engine import (
+    RetryPolicy,
     call_with_metrics,
     default_jobs,
     resolve_jobs,
@@ -26,6 +27,7 @@ from repro.parallel.engine import (
 )
 
 __all__ = [
+    "RetryPolicy",
     "call_with_metrics",
     "default_jobs",
     "resolve_jobs",

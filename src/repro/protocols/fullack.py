@@ -73,6 +73,7 @@ class FullAckSource(SourceAgent):
             return
         if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
             self.obs_mac_failures.inc()
+            self.record_fault("ack_mac_failure")
             return  # forged/altered ack: treated as absent (drop semantics)
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
@@ -86,6 +87,10 @@ class FullAckSource(SourceAgent):
         if entry is None:
             return
         entry["probed"] = True
+        entry["probe_attempts"] = 0
+        self._probe(identifier, entry)
+
+    def _probe(self, identifier: bytes, entry: dict) -> None:
         probe = build_probe(self.protocol, identifier, entry["sequence"])
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
@@ -107,9 +112,16 @@ class FullAckSource(SourceAgent):
         self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
-        entry = self.pending.pop(identifier, None)
+        entry = self.pending.get(identifier)
         if entry is None:
             return
+        # Degraded mode (probe_retries > 0): re-send the probe a bounded
+        # number of times before scoring the round.
+        if entry["probe_attempts"] < self.params.probe_retries:
+            entry["probe_attempts"] += 1
+            self._probe(identifier, entry)
+            return
+        self.pending.pop(identifier)
         # Footnote 8: no report at all means the loss is at l_0.
         self.obs_report_timeouts.inc()
         self.board.add(0)

@@ -129,6 +129,7 @@ class OnionForwarder(ForwarderAgent):
             return
         if not probe_hop_valid(self, probe):
             self.obs_mac_failures.inc()
+            self.record_fault("probe_mac_failure")
             return
         entry["probed"] = True
         entry["hold_handle"].cancel()
@@ -237,6 +238,7 @@ class OnionDestination(DestinationAgent):
             return
         if not probe_hop_valid(self, probe):
             self.obs_mac_failures.inc()
+            self.record_fault("probe_mac_failure")
             return
         entry["hold_handle"].cancel()
         self.store.pop(probe.identifier, self.now)

@@ -71,6 +71,8 @@ class Paai1Source(SourceAgent):
         entry = self.pending.get(identifier)
         if entry is None:
             return
+        entry["sequence"] = sequence
+        entry.setdefault("probe_attempts", 0)
         probe = build_probe(self.protocol, identifier, sequence)
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
@@ -102,9 +104,16 @@ class Paai1Source(SourceAgent):
         self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
-        entry = self.pending.pop(identifier, None)
+        entry = self.pending.get(identifier)
         if entry is None:
             return
+        # Degraded mode (probe_retries > 0): bounded retransmission
+        # before the round is scored as lost.
+        if entry["probe_attempts"] < self.params.probe_retries:
+            entry["probe_attempts"] += 1
+            self._send_probe(identifier, entry["sequence"])
+            return
+        self.pending.pop(identifier)
         self.obs_report_timeouts.inc()
         self.board.add(0)  # footnote 8
         self.board.record_round()

@@ -98,6 +98,7 @@ class Paai2Source(SourceAgent):
             return
         if not verify_mac(self._dest_mac_key, ack.identifier, ack.report):
             self.obs_mac_failures.inc()
+            self.record_fault("ack_mac_failure")
             return
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
@@ -110,13 +111,20 @@ class Paai2Source(SourceAgent):
         if entry is None:
             return
         entry["probed"] = True
+        entry["probe_attempts"] = 0
         z = bytes(
             self._challenge_rng.getrandbits(8) for _ in range(CHALLENGE_SIZE)
         )
         entry["z"] = z
         entry["selected"] = selected_node(self._selection_keys, z)
+        self._probe(identifier, entry)
+
+    def _probe(self, identifier: bytes, entry: dict) -> None:
+        # Retransmissions reuse the original challenge Z: the selected
+        # node is a pure function of Z, so the round's reporter (and the
+        # scoring interval) stays fixed across attempts.
         probe = ProbePacket.create(
-            identifier, sequence=entry["sequence"], challenge=z
+            identifier, sequence=entry["sequence"], challenge=entry["z"]
         )
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
@@ -140,9 +148,16 @@ class Paai2Source(SourceAgent):
         self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
-        entry = self.pending.pop(identifier, None)
+        entry = self.pending.get(identifier)
         if entry is None:
             return
+        # Degraded mode (probe_retries > 0): bounded retransmission
+        # before the round is scored as a mismatch.
+        if entry["probe_attempts"] < self.params.probe_retries:
+            entry["probe_attempts"] += 1
+            self._probe(identifier, entry)
+            return
+        self.pending.pop(identifier)
         self.obs_report_timeouts.inc()
         self._score(False, entry["selected"])
         self.observe_round(entry)

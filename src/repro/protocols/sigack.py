@@ -150,7 +150,8 @@ class SigAckSource(SourceAgent):
         dest = self.params.path_length
         if not self._verifiers[dest].verify(b"e2e" + ack.identifier, ack.report):
             self.obs_mac_failures.inc()
-            return
+            self.record_fault("ack_signature_failure")
+            return  # forged/altered ack: treated as absent (drop semantics)
         entry["handle"].cancel()
         self.pending.pop(ack.identifier)
         self.monitor.record_acknowledged()
@@ -163,6 +164,10 @@ class SigAckSource(SourceAgent):
         if entry is None:
             return
         entry["probed"] = True
+        entry["probe_attempts"] = 0
+        self._probe(identifier, entry)
+
+    def _probe(self, identifier: bytes, entry: dict) -> None:
         probe = ProbePacket.create(identifier, sequence=entry["sequence"])
         self.path.stats.record_overhead(probe)
         self.send_forward(probe)
@@ -184,9 +189,16 @@ class SigAckSource(SourceAgent):
         self.observe_round(entry)
 
     def _on_report_timeout(self, identifier: bytes) -> None:
-        entry = self.pending.pop(identifier, None)
+        entry = self.pending.get(identifier)
         if entry is None:
             return
+        # Degraded mode (probe_retries > 0): re-send the probe a bounded
+        # number of times before scoring the round.
+        if entry["probe_attempts"] < self.params.probe_retries:
+            entry["probe_attempts"] += 1
+            self._probe(identifier, entry)
+            return
+        self.pending.pop(identifier)
         self.obs_report_timeouts.inc()
         self.board.add(0)
         self.board.record_round()

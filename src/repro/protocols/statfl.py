@@ -241,6 +241,7 @@ class StatFLSource(SourceAgent):
         for layer in verdict.layers:
             count = _parse_count(layer.payload, ack.identifier)
             if count is None:
+                self.record_fault("malformed_count_payload")
                 break
             self.latest_counts[layer.position] = count
             self.latest_snapshot[layer.position] = entry["snapshot"]

@@ -1,0 +1,23 @@
+# repro: module=repro.protocols.fake_agent
+"""Fixture: silently swallowed exceptions (FI001)."""
+
+
+def handle(packets):
+    for packet in packets:
+        try:
+            packet.decode()
+        except:  # noqa: E722
+            pass
+    try:
+        packets[0].verify()
+    except Exception:
+        ...
+    try:
+        packets[-1].settle()
+    except (ValueError, Exception):
+        continue_ = None  # not a swallow: has an observable statement
+    try:
+        packets[1].replay()
+    except (KeyError, BaseException):
+        pass
+    return continue_

@@ -1,0 +1,18 @@
+# repro: module=repro.protocols.fake_agent_ok
+"""Fixture: accounted/narrowed twins of bad_faults.py."""
+
+
+def handle(packets, node):
+    for packet in packets:
+        try:
+            packet.decode()
+        except ValueError:  # narrow: only the expected malformed input
+            pass
+    try:
+        packets[0].verify()
+    except Exception:
+        node.record_fault("verify_failure")  # accounted, not swallowed
+    try:
+        packets[1].replay()
+    except Exception:  # repro: allow(FI001) -- measured harmless in bench
+        pass

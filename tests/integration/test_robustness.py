@@ -1,0 +1,319 @@
+"""Robustness suite: crash/timeout-tolerant parallel runs, corrupt
+checkpoints, degraded-mode ack handling, and the chaos matrix gate.
+
+These are the ISSUE's resilience contracts end to end: a worker crash or
+a wedged task never changes *what* a retried run computes (byte-identical
+to serial at the same seed), a damaged checkpoint degrades a resumed
+report to a restart instead of a crash, malformed or replayed acks are
+counted and dropped rather than raised, and the chaos matrix runs every
+cell to completion with zero false accusations on benign schedules.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError, TaskRetryError
+from repro.experiments import runner
+from repro.experiments.chaos import (
+    cell_seed,
+    run_chaos_cell,
+    run_chaos_matrix,
+)
+from repro.experiments.runner import (
+    CheckpointWarning,
+    build_specs,
+    load_checkpoint,
+    run_all,
+    write_checkpoint,
+)
+from repro.faults import preset
+from repro.net.packets import AckPacket, Direction, PacketKind
+from repro.net.simulator import Simulator
+from repro.parallel import RetryPolicy, run_tasks, run_tasks_completed
+from repro.protocols.registry import make_protocol
+
+TINY = {"runs": 24, "fig2_runs": 30, "packets": 120, "abl_packets": 200}
+
+
+@pytest.fixture()
+def tiny_scale(monkeypatch):
+    monkeypatch.setitem(runner.SCALES, "tiny", TINY)
+    return "tiny"
+
+
+# -- worker tasks (module-level so they pickle across the pool) -------------
+
+
+def _square(value):
+    return value * value
+
+
+def _crash_once_square(arg):
+    """Hard-crashes the worker process on its first-ever call (tracked by
+    a marker file shared across processes), then behaves like _square."""
+    value, marker = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(17)  # simulates a segfaulting worker -> BrokenProcessPool
+    return value * value
+
+
+def _wedge_once_square(arg):
+    """Sleeps past the round timeout on its first-ever call, then returns
+    instantly — a transiently wedged worker."""
+    value, marker = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("wedged")
+        import time
+
+        time.sleep(2.0)
+    return value * value
+
+
+def _crash_always(value):
+    os._exit(17)
+
+
+class TestWorkerCrashRecovery:
+    def test_crashed_worker_is_retried_to_the_serial_result(self, tmp_path):
+        payloads = [(value, str(tmp_path / "crash-marker"))
+                    for value in range(8)]
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        retried = run_tasks(_crash_once_square, payloads, jobs=2,
+                            retry=policy)
+        # After the crash the marker exists, so a serial pass over the
+        # *same payloads* is pure compute — the ground truth the retried
+        # parallel run must reproduce byte for byte.
+        serial = run_tasks(_crash_once_square, payloads, jobs=1)
+        assert retried == serial == [v * v for v in range(8)]
+        assert json.dumps(retried) == json.dumps(serial)
+
+    def test_streaming_variant_recovers_too(self, tmp_path):
+        payloads = [(value, str(tmp_path / "crash-marker"))
+                    for value in range(6)]
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        pairs = dict(run_tasks_completed(
+            _crash_once_square, payloads, jobs=2, retry=policy
+        ))
+        assert pairs == {index: index * index for index in range(6)}
+
+    def test_persistent_crash_exhausts_the_budget(self):
+        policy = RetryPolicy(max_attempts=2, backoff=0.0)
+        with pytest.raises(TaskRetryError, match="after 2 attempts"):
+            run_tasks(_crash_always, [1, 2, 3], jobs=2, retry=policy)
+
+    def test_crash_without_retry_policy_still_fails_fast(self, tmp_path):
+        payloads = [(value, str(tmp_path / "crash-marker"))
+                    for value in range(4)]
+        with pytest.raises(Exception):  # BrokenProcessPool
+            run_tasks(_crash_once_square, payloads, jobs=2)
+
+
+class TestRoundTimeoutRecovery:
+    def test_wedged_worker_times_out_and_retry_succeeds(self, tmp_path):
+        payloads = [(value, str(tmp_path / "wedge-marker"))
+                    for value in range(4)]
+        policy = RetryPolicy(max_attempts=3, timeout=0.5, backoff=0.0)
+        result = run_tasks(_wedge_once_square, payloads, jobs=2,
+                           retry=policy)
+        assert result == [v * v for v in range(4)]
+
+
+class TestCorruptCheckpoints:
+    def _valid_checkpoint(self, tiny_scale, path):
+        specs = build_specs(tiny_scale, seed=0)
+        records = {
+            spec.name: runner.ExperimentRecord(
+                name=spec.name, elapsed_seconds=0.1, text=f"<{spec.name}>"
+            )
+            for spec in specs[:2]
+        }
+        write_checkpoint(str(path), tiny_scale, 0, specs, records)
+        return specs, records
+
+    def test_round_trip_carries_the_checksum(self, tiny_scale, tmp_path):
+        path = tmp_path / "ckpt.json"
+        _, records = self._valid_checkpoint(tiny_scale, path)
+        payload = json.loads(path.read_text())
+        assert payload["checksum"]
+        loaded = load_checkpoint(str(path), scale=tiny_scale, seed=0)
+        assert set(loaded) == set(records)
+
+    def test_truncated_file_warns_and_restarts(self, tiny_scale, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._valid_checkpoint(tiny_scale, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # crash mid-write
+        with pytest.warns(CheckpointWarning, match="unreadable"):
+            assert load_checkpoint(str(path), scale=tiny_scale, seed=0) == {}
+
+    def test_tampered_records_fail_the_checksum(self, tiny_scale, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._valid_checkpoint(tiny_scale, path)
+        payload = json.loads(path.read_text())
+        payload["records"][0]["text"] = "bit-rotted"
+        path.write_text(json.dumps(payload))
+        with pytest.warns(CheckpointWarning, match="checksum mismatch"):
+            assert load_checkpoint(str(path), scale=tiny_scale, seed=0) == {}
+
+    def test_malformed_record_entries_warn(self, tiny_scale, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._valid_checkpoint(tiny_scale, path)
+        payload = json.loads(path.read_text())
+        payload["records"] = [{"name": "Table 1"}]  # missing fields
+        payload["checksum"] = runner._records_checksum(payload["records"])
+        path.write_text(json.dumps(payload))
+        with pytest.warns(CheckpointWarning, match="malformed record"):
+            assert load_checkpoint(str(path), scale=tiny_scale, seed=0) == {}
+
+    def test_non_object_payload_warns(self, tiny_scale, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(CheckpointWarning, match="not an object"):
+            assert load_checkpoint(str(path), scale=tiny_scale, seed=0) == {}
+
+    def test_wrong_file_and_wrong_config_stay_hard_errors(
+        self, tiny_scale, tmp_path
+    ):
+        """Damage degrades gracefully; *caller* mistakes must not."""
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"hello": "world"}')
+        with pytest.raises(ConfigurationError, match="not a report checkpoint"):
+            load_checkpoint(str(junk), scale=tiny_scale, seed=0)
+        path = tmp_path / "ckpt.json"
+        self._valid_checkpoint(tiny_scale, path)
+        with pytest.raises(ConfigurationError, match="cannot resume"):
+            load_checkpoint(str(path), scale=tiny_scale, seed=9)
+
+    def test_resumed_report_survives_a_corrupt_checkpoint(
+        self, tiny_scale, tmp_path
+    ):
+        """End to end: `report --resume` onto a half-written checkpoint
+        restarts cleanly and leaves a valid checkpoint behind."""
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"format": "repro-report-checkpo')  # torn write
+        with pytest.warns(CheckpointWarning):
+            report = run_all(scale=tiny_scale, seed=0, jobs=1,
+                             resume_path=str(path))
+        specs = build_specs(tiny_scale, seed=0)
+        assert [r.name for r in report.records] == [s.name for s in specs]
+        healed = load_checkpoint(str(path), scale=tiny_scale, seed=0)
+        assert list(healed) == [s.name for s in specs]
+
+
+class TestDegradedAckHandling:
+    def _protocol(self, name, seed=0):
+        params = ProtocolParams(natural_loss=0.0)
+        simulator = Simulator(seed=seed)
+        return simulator, make_protocol(name, simulator, params)
+
+    @pytest.mark.parametrize("name,fault", [
+        ("full-ack", "ack_mac_failure"),
+        ("paai2", "ack_mac_failure"),
+        ("sig-ack", "ack_signature_failure"),
+    ])
+    def test_malformed_ack_is_counted_and_dropped(self, name, fault):
+        simulator, protocol = self._protocol(name)
+        packet = protocol.source.send_data()
+        forged = AckPacket.create(
+            identifier=packet.identifier,
+            report=b"\x00" * 16,  # garbage MAC/signature
+            origin=protocol.params.path_length,
+        )
+        protocol.source.deliver(forged, Direction.REVERSE)
+        assert protocol.source.fault_counts[fault] == 1
+        # The round is still pending — a forged ack must not settle it.
+        assert packet.identifier in protocol.source.pending
+
+    def test_replayed_ack_never_raises_or_double_counts(self):
+        simulator, protocol = self._protocol("full-ack")
+        protocol.run_traffic(count=20, rate=1000.0)
+        rounds = protocol.board.rounds
+        assert rounds == 20
+        stale = AckPacket.create(
+            identifier=b"\xab" * 16,  # long-settled / never-sent round
+            report=b"\x00" * 16,
+            origin=protocol.params.path_length,
+        )
+        for _ in range(3):
+            protocol.source.deliver(stale, Direction.REVERSE)
+        assert protocol.board.rounds == rounds
+
+    def test_unknown_packet_kind_from_wire_is_survivable(self):
+        """The deliver boundary converts protocol-level surprises into
+        counted faults instead of crashing the event loop."""
+        simulator, protocol = self._protocol("full-ack")
+        probe = AckPacket.create(identifier=b"\x01" * 16, report=b"",
+                                 origin=0, is_report=True)
+        protocol.source.deliver(probe, Direction.REVERSE)  # must not raise
+        assert probe.kind is PacketKind.ACK
+
+
+class TestChaosMatrix:
+    def test_small_matrix_is_clean_and_deterministic(self):
+        first = run_chaos_matrix("small", seed=0, packets=200,
+                                 protocols=["full-ack"])
+        second = run_chaos_matrix("small", seed=0, packets=200,
+                                  protocols=["full-ack"])
+        assert first.ok, first.render()
+        assert json.dumps(first.to_json(), sort_keys=True) == (
+            json.dumps(second.to_json(), sort_keys=True)
+        )
+
+    def test_corrupt_acks_cell_surfaces_degraded_mode_counters(self):
+        spec = preset("corrupt-acks")
+        cell = run_chaos_cell(
+            "full-ack", spec,
+            seed=cell_seed(0, "full-ack", spec.name),
+            packets=400,
+        )
+        assert cell.error is None, cell.error
+        assert cell.injected.get("corrupt", 0) >= 1
+        total_faults = sum(
+            count
+            for counts in cell.faults_seen.values()
+            for count in counts.values()
+        )
+        assert total_faults >= 1
+
+    def test_benign_cells_report_their_fp_bound(self):
+        spec = preset("baseline")
+        cell = run_chaos_cell(
+            "paai1", spec, seed=cell_seed(3, "paai1", spec.name), packets=200
+        )
+        assert cell.error is None
+        assert 0.0 <= cell.fp_bound <= 1.0
+        assert cell.rounds > 0
+
+    def test_cell_seeds_are_distinct_across_the_grid(self):
+        seeds = {
+            cell_seed(0, protocol, spec)
+            for protocol in ("full-ack", "paai1", "paai2")
+            for spec in ("baseline", "benign-jitter", "crash-restart")
+        }
+        assert len(seeds) == 9
+
+    def test_unknown_matrix_and_protocol_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos matrix"):
+            run_chaos_matrix("colossal")
+        with pytest.raises(ConfigurationError, match="not part of matrix"):
+            run_chaos_matrix("small", protocols=["sig-ack"])
+
+    def test_cell_never_raises_on_protocol_failure(self, monkeypatch):
+        """A blown-up cell becomes an EXCEPTION verdict, not a crash."""
+        def boom(*args, **kwargs):
+            raise RuntimeError("scripted cell failure")
+
+        monkeypatch.setattr(
+            "repro.experiments.chaos.make_protocol", boom
+        )
+        spec = preset("baseline")
+        cell = run_chaos_cell("full-ack", spec, seed=1, packets=50)
+        assert cell.error is not None
+        assert "scripted cell failure" in cell.error
+        assert not cell.ok

@@ -74,6 +74,20 @@ class TestIterationOrderFamily:
         assert audit_fixture("ok_iteration.py") == []
 
 
+class TestFaultsFamily:
+    def test_violations_caught(self):
+        findings = audit_fixture("bad_faults.py")
+        counts = rule_counts(findings)
+        # bare `except: pass`, `except Exception: ...`, and the
+        # `except (KeyError, BaseException): pass` tuple; the blanket
+        # handler with an observable body is NOT a finding.
+        assert counts["FI001"] == 3
+        assert all(f.severity == "error" for f in findings)
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_faults.py") == []
+
+
 def test_fixture_files_never_leak_other_rules():
     """Each bad fixture triggers exactly its own family (plus nothing)."""
     expected_families = {
@@ -81,6 +95,7 @@ def test_fixture_files_never_leak_other_rules():
         "bad_crypto.py": {"CB001", "CB002"},
         "bad_simtime.py": {"ST001"},
         "bad_iteration.py": {"ITER001", "ITER002"},
+        "bad_faults.py": {"FI001"},
     }
     for name, expected in expected_families.items():
         seen = set(rule_counts(audit_fixture(name)))

@@ -1,0 +1,365 @@
+"""Tests for repro.faults: specs, compiled schedules, and injectors."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import (
+    FaultClause,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    PRESETS,
+    baseline_spec,
+    compile_spec,
+    install_faults,
+    preset,
+)
+from repro.faults.injectors import corrupt_packet, flip_byte
+from repro.net.node import Node
+from repro.net.packets import AckPacket, DataPacket, Direction
+from repro.net.path import Path
+from repro.net.rng import RngFactory
+from repro.net.simulator import Simulator
+
+
+class Recorder(Node):
+    """Forwarding node that logs every delivery."""
+
+    def __init__(self, position, forward=True):
+        super().__init__(position)
+        self.received = []
+        self._forward = forward
+
+    def on_packet(self, packet, direction):
+        self.received.append((packet, direction, self.now))
+        if self._forward and direction is Direction.FORWARD:
+            if self.position < self.path.length:
+                self.send_forward(packet)
+
+
+def build_path(length=3, seed=0):
+    sim = Simulator(seed=seed)
+    path = Path(sim, length=length, natural_loss=0.0, max_latency=0.001)
+    nodes = [Recorder(i) for i in range(length + 1)]
+    path.attach_nodes(nodes)
+    return sim, path, nodes
+
+
+class TestFaultClauseValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultClause(kind="melt", target=0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="target"):
+            FaultClause(kind="crash", target=-1, windows=1, magnitude=0.1)
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultClause(kind="corrupt", target=0, probability=1.5)
+
+    def test_per_packet_clause_needs_probability(self):
+        with pytest.raises(ConfigurationError, match="probability > 0"):
+            FaultClause(kind="duplicate", target=0)
+
+    def test_window_clause_needs_duration_and_placement(self):
+        with pytest.raises(ConfigurationError, match="window duration"):
+            FaultClause(kind="blackout", target=0, windows=2)
+        with pytest.raises(ConfigurationError, match="windows > 0"):
+            FaultClause(kind="blackout", target=0, magnitude=0.1)
+
+    def test_clock_clauses_need_nonzero_magnitude(self):
+        with pytest.raises(ConfigurationError, match="nonzero step"):
+            FaultClause(kind="clock-step", target=1)
+        with pytest.raises(ConfigurationError, match="nonzero rate"):
+            FaultClause(kind="clock-drift", target=1)
+
+    def test_node_clauses_reject_link_filters(self):
+        with pytest.raises(ConfigurationError, match="no direction"):
+            FaultClause(kind="crash", target=1, windows=1, magnitude=0.1,
+                        direction="forward")
+        with pytest.raises(ConfigurationError, match="no packet-kind"):
+            FaultClause(kind="clock-step", target=1, magnitude=0.1,
+                        packet_kinds=("ack",))
+
+    def test_bad_direction_and_packet_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="direction"):
+            FaultClause(kind="corrupt", target=0, probability=0.1,
+                        direction="sideways")
+        with pytest.raises(ConfigurationError, match="packet kind"):
+            FaultClause(kind="corrupt", target=0, probability=0.1,
+                        packet_kinds=("datagram",))
+
+    def test_negative_at_times_rejected(self):
+        with pytest.raises(ConfigurationError, match="`at` times"):
+            FaultClause(kind="clock-step", target=0, magnitude=1.0,
+                        at=(-0.5,))
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        for name, spec in sorted(PRESETS.items()):
+            assert FaultSpec.from_json(spec.to_json()) == spec, name
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault spec keys"):
+            FaultSpec.from_dict({"name": "x", "surprise": 1})
+        with pytest.raises(ConfigurationError, match="unknown fault clause keys"):
+            FaultClause.from_dict({"kind": "crash", "target": 0, "wat": 1})
+
+    def test_clause_needs_kind_and_target(self):
+        with pytest.raises(ConfigurationError, match="`kind` and `target`"):
+            FaultClause.from_dict({"kind": "crash"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultSpec.from_json("{nope")
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            FaultSpec.from_json("[1, 2]")
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="needs a name"):
+            FaultSpec(name="")
+        with pytest.raises(ConfigurationError, match="horizon"):
+            FaultSpec(name="x", horizon=0.0)
+
+    def test_with_horizon_only_changes_horizon(self):
+        spec = preset("burst-blackout")
+        stretched = spec.with_horizon(4.0)
+        assert stretched.horizon == 4.0
+        assert stretched.clauses == spec.clauses
+        assert stretched.name == spec.name
+
+    def test_preset_lookup(self):
+        assert preset("baseline") == baseline_spec()
+        with pytest.raises(ConfigurationError, match="unknown fault preset"):
+            preset("no-such-spec")
+
+    def test_presets_tag_adversarial_specs_non_benign(self):
+        assert not preset("corrupt-acks").benign
+        assert not preset("clock-wild").benign
+        assert preset("benign-jitter").benign
+
+
+class TestScheduleCompilation:
+    def test_same_seed_and_spec_give_identical_schedules(self):
+        spec = preset("crash-restart").with_horizon(6.0)
+        first = compile_spec(spec, seed=7).describe()
+        second = compile_spec(spec, seed=7).describe()
+        assert json.dumps(first, sort_keys=True) == (
+            json.dumps(second, sort_keys=True)
+        )
+
+    def test_different_seeds_place_windows_differently(self):
+        spec = preset("crash-restart").with_horizon(6.0)
+        first = compile_spec(spec, seed=1).describe()
+        second = compile_spec(spec, seed=2).describe()
+        assert first["clauses"] != second["clauses"]
+
+    def test_windows_land_inside_the_horizon(self):
+        spec = preset("burst-blackout").with_horizon(5.0)
+        schedule = compile_spec(spec, seed=3)
+        (compiled,) = schedule.compiled
+        assert len(compiled.windows) == 2
+        for start, end in compiled.windows:
+            assert 0.0 <= start <= end <= 5.0
+            assert end - start == pytest.approx(0.03)
+
+    def test_explicit_at_times_are_honored(self):
+        clause = FaultClause(kind="crash", target=1, magnitude=0.5,
+                             at=(2.0, 4.0))
+        schedule = compile_spec(FaultSpec(name="x", clauses=(clause,)), seed=0)
+        assert schedule.crash_windows(1) == ((2.0, 2.5), (4.0, 4.5))
+
+    def test_clock_events_sorted_by_time(self):
+        clauses = (
+            FaultClause(kind="clock-step", target=2, magnitude=1.0, at=(3.0,)),
+            FaultClause(kind="clock-drift", target=1, magnitude=0.1, at=(1.0,)),
+        )
+        schedule = compile_spec(FaultSpec(name="x", clauses=clauses), seed=0)
+        events = schedule.clock_events()
+        assert [event[0] for event in events] == [1.0, 3.0]
+        assert events[0][2] == "clock-drift"
+
+    def test_targets_partition_by_kind(self):
+        clauses = (
+            FaultClause(kind="jitter", target=0, probability=0.5,
+                        magnitude=0.01),
+            FaultClause(kind="crash", target=2, windows=1, magnitude=0.1),
+        )
+        schedule = compile_spec(FaultSpec(name="x", clauses=clauses), seed=0)
+        assert schedule.link_targets == [0]
+        assert schedule.node_targets == [2]
+        assert len(schedule.link_clauses(0)) == 1
+        assert schedule.link_clauses(1) == []
+
+    def test_schedule_draws_do_not_disturb_sibling_streams(self):
+        """Compiling a fault schedule must not shift the experiment's
+        other RNG streams (it spawns its own sub-factory)."""
+        before = RngFactory(11).stream("link-0").random()
+        factory = RngFactory(11)
+        FaultSchedule(preset("crash-restart"), factory)
+        after = factory.stream("link-0").random()
+        assert before == after
+
+
+class TestByteCorruption:
+    def test_flip_byte_never_a_noop(self):
+        stream = RngFactory(5).stream("corrupt")
+        for _ in range(64):
+            data = bytes(stream.randrange(256) for _ in range(8))
+            flipped = flip_byte(data, stream)
+            assert flipped != data
+            assert len(flipped) == len(data)
+
+    def test_flip_byte_on_empty_payload(self):
+        stream = RngFactory(5).stream("corrupt")
+        assert flip_byte(b"", stream) == b"\x00"
+
+    def test_corrupt_ack_flips_report_not_identifier(self):
+        stream = RngFactory(5).stream("corrupt")
+        ack = AckPacket.create(identifier=b"i" * 16, report=b"r" * 16,
+                               origin=3, is_report=True)
+        mangled = corrupt_packet(ack, stream)
+        assert mangled.identifier == ack.identifier
+        assert mangled.report != ack.report
+        assert mangled.is_report is True
+
+    def test_corrupt_data_flips_identifier(self):
+        stream = RngFactory(5).stream("corrupt")
+        packet = DataPacket.create(b"payload", timestamp=0.0)
+        mangled = corrupt_packet(packet, stream)
+        assert mangled.identifier != packet.identifier
+
+
+class TestInjectorBehavior:
+    def _spec(self, *clauses, horizon=10.0):
+        return FaultSpec(name="t", clauses=tuple(clauses), horizon=horizon)
+
+    def test_blackout_window_consumes_packets(self):
+        sim, path, nodes = build_path(length=2)
+        spec = self._spec(
+            FaultClause(kind="blackout", target=0, magnitude=1.0, at=(0.0,))
+        )
+        injector = install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert nodes[2].received == []
+        assert injector.injected["blackout"] == 1
+
+    def test_traffic_resumes_after_blackout(self):
+        sim, path, nodes = build_path(length=2)
+        spec = self._spec(
+            FaultClause(kind="blackout", target=0, magnitude=1.0, at=(0.0,))
+        )
+        install_faults(path, spec)
+        sim.schedule_at(2.0, lambda: nodes[0].send_forward(
+            DataPacket.create(b"late", timestamp=2.0)
+        ))
+        sim.run()
+        assert len(nodes[2].received) == 1
+
+    def test_duplicate_delivers_an_extra_copy(self):
+        sim, path, nodes = build_path(length=1)
+        spec = self._spec(
+            FaultClause(kind="duplicate", target=0, probability=1.0,
+                        magnitude=0.001)
+        )
+        injector = install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert len(nodes[1].received) == 2
+        assert injector.injected["duplicate"] == 1
+
+    def test_jitter_delays_without_loss_or_duplication(self):
+        sim, path, nodes = build_path(length=1)
+        spec = self._spec(
+            FaultClause(kind="jitter", target=0, probability=1.0,
+                        magnitude=0.05)
+        )
+        injector = install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert injector.injected["jitter"] == 1
+
+    def test_crash_window_discards_then_recovers(self):
+        sim, path, nodes = build_path(length=2)
+        spec = self._spec(
+            FaultClause(kind="crash", target=1, magnitude=1.0, at=(0.0,))
+        )
+        injector = install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"in-window", timestamp=0.0))
+        sim.schedule_at(2.0, lambda: nodes[0].send_forward(
+            DataPacket.create(b"after", timestamp=2.0)
+        ))
+        sim.run()
+        assert len(nodes[2].received) == 1  # only the post-restart packet
+        assert injector.injected["crash"] >= 1
+
+    def test_crash_restart_clears_the_packet_store(self):
+        sim, path, nodes = build_path(length=2)
+        nodes[1].store.add(b"stale", now=0.0)
+        spec = self._spec(
+            FaultClause(kind="crash", target=1, magnitude=0.5, at=(0.0,))
+        )
+        install_faults(path, spec)
+        sim.run()
+        assert len(nodes[1].store) == 0
+
+    def test_direction_filter_leaves_other_direction_alone(self):
+        sim, path, nodes = build_path(length=1)
+        spec = self._spec(
+            FaultClause(kind="blackout", target=0, magnitude=5.0, at=(0.0,),
+                        direction="reverse")
+        )
+        install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert len(nodes[1].received) == 1
+
+    def test_packet_kind_filter(self):
+        sim, path, nodes = build_path(length=1)
+        spec = self._spec(
+            FaultClause(kind="blackout", target=0, magnitude=5.0, at=(0.0,),
+                        packet_kinds=("ack",))
+        )
+        install_faults(path, spec)
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert len(nodes[1].received) == 1  # data packets pass the filter
+
+    def test_install_rejects_out_of_range_targets(self):
+        _, path, _ = build_path(length=2)
+        with pytest.raises(ConfigurationError, match="only 2 links"):
+            install_faults(path, self._spec(
+                FaultClause(kind="blackout", target=5, magnitude=0.1,
+                            at=(0.0,))
+            ))
+        with pytest.raises(ConfigurationError, match="nodes"):
+            install_faults(path, self._spec(
+                FaultClause(kind="crash", target=7, magnitude=0.1, at=(0.0,))
+            ))
+
+    def test_install_requires_attached_path(self):
+        sim = Simulator(seed=0)
+        path = Path(sim, length=2, natural_loss=0.0, max_latency=0.001)
+        injector = FaultInjector(
+            FaultSchedule(baseline_spec(), sim.rng)
+        )
+        with pytest.raises(ConfigurationError, match="attach_nodes"):
+            injector.install(path)
+
+    def test_uninstall_detaches_everything(self):
+        sim, path, nodes = build_path(length=1)
+        spec = self._spec(
+            FaultClause(kind="blackout", target=0, magnitude=50.0, at=(0.0,))
+        )
+        injector = install_faults(path, spec)
+        injector.uninstall()
+        nodes[0].send_forward(DataPacket.create(b"m", timestamp=0.0))
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert injector.injected == {}

@@ -1,10 +1,13 @@
 """Tests for the deterministic process-pool engine (repro.parallel)."""
 
+import os
+
 import pytest
 
-from repro.exceptions import ConfigurationError
-from repro.obs.registry import NullRegistry, get_registry
+from repro.exceptions import ConfigurationError, TaskRetryError
+from repro.obs.registry import MetricsRegistry, NullRegistry, get_registry, using_registry
 from repro.parallel import (
+    RetryPolicy,
     call_with_metrics,
     default_jobs,
     resolve_jobs,
@@ -24,6 +27,20 @@ def _fail_on_three(value):
     if value == 3:
         raise ValueError("scripted shard failure")
     return value
+
+
+def _flaky_square(arg):
+    """Fails once (tracked by a marker file), then computes the square."""
+    value, marker = arg
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("failed-once")
+        raise RuntimeError("scripted transient failure")
+    return value * value
+
+
+def _always_fails(value):
+    raise RuntimeError(f"permanent failure for {value}")
 
 
 def _counting_task():
@@ -121,6 +138,68 @@ class TestRunTasksCompleted:
     def test_parallel_failure_propagates(self):
         with pytest.raises(ValueError, match="scripted shard failure"):
             list(run_tasks_completed(_fail_on_three, [3] * 4, jobs=2))
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff=-1.0)
+
+    def test_backoff_doubles_per_attempt(self):
+        policy = RetryPolicy(backoff=0.1)
+        assert policy.delay_before(1) == 0.0  # first attempt is free
+        assert policy.delay_before(2) == pytest.approx(0.1)
+        assert policy.delay_before(3) == pytest.approx(0.2)
+        assert policy.delay_before(4) == pytest.approx(0.4)
+
+    def test_zero_backoff_retries_immediately(self):
+        assert RetryPolicy(backoff=0.0).delay_before(3) == 0.0
+
+
+class TestSerialRetry:
+    def test_transient_failure_is_retried_to_success(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        assert run_tasks(_flaky_square, [(7, marker)], jobs=1,
+                         retry=policy) == [49]
+
+    def test_exhausted_budget_raises_with_cause(self):
+        policy = RetryPolicy(max_attempts=2, backoff=0.0)
+        with pytest.raises(TaskRetryError, match="after 2 attempts") as info:
+            run_tasks(_always_fails, [1], jobs=1, retry=policy)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_no_policy_fails_fast(self):
+        with pytest.raises(RuntimeError, match="permanent failure"):
+            run_tasks(_always_fails, [1], jobs=1)
+
+    def test_streaming_serial_retries_in_payload_order(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        policy = RetryPolicy(max_attempts=2, backoff=0.0)
+        pairs = list(run_tasks_completed(
+            _flaky_square, [(2, marker), (3, str(tmp_path / "marker"))],
+            jobs=1, retry=policy,
+        ))
+        assert pairs == [(0, 4), (1, 9)]
+
+    def test_retry_and_failure_counters_recorded(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        policy = RetryPolicy(max_attempts=3, backoff=0.0)
+        with using_registry(MetricsRegistry()) as registry:
+            run_tasks(_flaky_square, [(5, marker)], jobs=1, retry=policy)
+            snapshot = registry.snapshot()
+        counters = {e["name"]: e["value"] for e in snapshot["counters"]}
+        assert counters["parallel.task_retries"] == 1
+        assert counters["parallel.task_failures"] == 1
 
 
 class TestCallWithMetrics:
