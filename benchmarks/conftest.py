@@ -30,6 +30,12 @@ BENCH_PARALLEL_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_parallel.json"
 )
 
+#: Fastpath-vs-event telemetry: per-workload wall clock for both wire
+#: backends plus the measured speedup and the equivalence verdict.
+BENCH_FASTPATH_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_fastpath.json"
+)
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Benchmark a heavy experiment with exactly one timed execution.
@@ -93,14 +99,17 @@ def pytest_sessionfinish(session, exitstatus):
     """Write one telemetry record per benchmark, stable key order.
 
     Benchmarks that declare a ``jobs`` worker count (the parallel-engine
-    suite) split out into ``BENCH_parallel.json``; everything else lands
-    in ``BENCH_observability.json`` as before.
+    suite) split out into ``BENCH_parallel.json``; benchmarks that
+    declare a ``backend`` (the fastpath equivalence suite) split out
+    into ``BENCH_fastpath.json``; everything else lands in
+    ``BENCH_observability.json`` as before.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None or not getattr(bench_session, "benchmarks", None):
         return
     records = []
     parallel_records = []
+    fastpath_records = []
     for bench in bench_session.benchmarks:
         stats = getattr(bench, "stats", None)
         extra = getattr(bench, "extra_info", {}) or {}
@@ -114,6 +123,17 @@ def pytest_sessionfinish(session, exitstatus):
             record["jobs"] = extra["jobs"]
             record["experiments"] = extra.get("experiments")
             parallel_records.append(record)
+        elif "backend" in extra:
+            record.update(
+                backend=extra["backend"],
+                protocol=extra.get("protocol"),
+                horizon=extra.get("horizon"),
+                event_seconds=extra.get("event_seconds"),
+                fastpath_seconds=extra.get("fastpath_seconds"),
+                speedup=extra.get("speedup"),
+                equivalent=extra.get("equivalent"),
+            )
+            fastpath_records.append(record)
         else:
             record["events_processed"] = extra.get("events_processed", 0)
             records.append(record)
@@ -124,3 +144,9 @@ def pytest_sessionfinish(session, exitstatus):
             handle.write("\n")
     if parallel_records:
         _write_parallel_telemetry(parallel_records)
+    if fastpath_records:
+        fastpath_records.sort(key=lambda record: record["name"])
+        payload = {"cpu_count": os.cpu_count(), "records": fastpath_records}
+        with open(BENCH_FASTPATH_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

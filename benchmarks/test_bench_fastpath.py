@@ -1,0 +1,83 @@
+"""Fastpath-vs-event benchmark: the engine-equivalence gate, timed.
+
+Each benchmark drives a reduced figure2/table2-shaped wire workload
+(log-spaced checkpoints, paper scenario, same seed) through both wire
+backends, asserts the detection outcomes are byte-identical, and asserts
+the fast path clears its speedup floor. The conftest splits these
+records (marked with ``extra_info["backend"]``) into
+``BENCH_fastpath.json``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.mc.detection import default_checkpoints
+from repro.net.backend import DetectionRequest, get_backend
+from repro.workloads.scenarios import paper_scenario
+
+#: (protocol, runs, horizon, speedup floor). full-ack and paai1 are the
+#: figure2/table2 quick-scale protocols and carry the 10x acceptance
+#: floor; statfl rides along with margin for timer jitter (measured
+#: ~11x).
+WORKLOADS = [
+    ("full-ack", 2, 2_000, 10.0),
+    ("paai1", 1, 8_000, 10.0),
+    ("statfl", 1, 8_000, 4.0),
+]
+
+
+def _request(protocol, runs, horizon):
+    return DetectionRequest(
+        protocol=protocol,
+        scenario=paper_scenario(),
+        runs=runs,
+        horizon=horizon,
+        checkpoints=default_checkpoints(horizon),
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize(
+    "protocol, runs, horizon, floor",
+    WORKLOADS,
+    ids=[workload[0] for workload in WORKLOADS],
+)
+def test_fastpath_speedup_and_equivalence(
+    benchmark, protocol, runs, horizon, floor
+):
+    request = _request(protocol, runs, horizon)
+
+    started = time.perf_counter()
+    event_result = get_backend("event").run(request)
+    event_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast_result = benchmark.pedantic(
+        lambda: get_backend("fastpath").run(request), rounds=1, iterations=1
+    )
+    fast_seconds = time.perf_counter() - started
+
+    # The equivalence gate: identical convictions and estimates at the
+    # same seed, and no silent event-engine fallback.
+    assert fast_result.engines == ["fastpath"] * runs
+    assert np.array_equal(fast_result.convictions, event_result.convictions)
+    assert np.array_equal(
+        fast_result.estimates_last, event_result.estimates_last
+    )
+
+    speedup = event_seconds / fast_seconds
+    benchmark.extra_info["backend"] = "fastpath"
+    benchmark.extra_info["protocol"] = protocol
+    benchmark.extra_info["scale"] = runs
+    benchmark.extra_info["horizon"] = horizon
+    benchmark.extra_info["seed"] = 0
+    benchmark.extra_info["event_seconds"] = round(event_seconds, 4)
+    benchmark.extra_info["fastpath_seconds"] = round(fast_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["equivalent"] = True
+    assert speedup >= floor, (
+        f"{protocol}: fastpath speedup {speedup:.1f}x below {floor:.0f}x "
+        f"floor (event {event_seconds:.2f}s, fastpath {fast_seconds:.2f}s)"
+    )

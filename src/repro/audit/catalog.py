@@ -11,6 +11,7 @@ from typing import List, Optional, Set, Tuple
 from repro.audit import (
     rules_crypto,
     rules_determinism,
+    rules_fastpath,
     rules_faults,
     rules_iteration,
     rules_simtime,
@@ -34,6 +35,7 @@ def all_rules() -> List[Rule]:
         *rules_faults.RULES,
         *rules_simtime.RULES,
         *rules_iteration.RULES,
+        *rules_fastpath.RULES,
     ]
     return sorted(rules, key=lambda rule: rule.id)
 

@@ -162,14 +162,15 @@ def _cmd_table1(args) -> None:
 
 
 def _cmd_table2(args) -> None:
-    _emit(args, run_table2(runs=args.runs, seed=args.seed, jobs=args.jobs))
+    _emit(args, run_table2(runs=args.runs, seed=args.seed, jobs=args.jobs,
+                           backend=args.backend))
 
 
 def _cmd_figure2(args) -> None:
     with _observability(args, wire_protocol=args.protocol, seed=args.seed):
         result = run_figure2(
             args.protocol, runs=args.runs, horizon=args.horizon,
-            seed=args.seed, jobs=args.jobs,
+            seed=args.seed, jobs=args.jobs, backend=args.backend,
         )
     if getattr(args, "json", False):
         _emit(args, result)
@@ -392,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the Monte-Carlo shards "
                         "(0 = all cores; output is identical for any value)")
+    p.add_argument("--backend", choices=["model", "fastpath", "event"],
+                   default="model",
+                   help="detection-average engine: closed-form models "
+                        "(default), vectorized wire replay, or full "
+                        "event simulation (docs/PERFORMANCE.md)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_table2)
 
@@ -405,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the Monte-Carlo shards "
                         "(0 = all cores; output is identical for any value)")
+    p.add_argument("--backend", choices=["model", "fastpath", "event"],
+                   default="model",
+                   help="execution engine: closed-form models (default), "
+                        "vectorized wire replay, or full event simulation "
+                        "(docs/PERFORMANCE.md)")
     p.add_argument("--per-link", action="store_true", dest="per_link",
                    help="also print per-link error curves (Figure 2c view)")
     p.add_argument("--json", action="store_true")

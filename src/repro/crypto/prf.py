@@ -17,8 +17,12 @@ expose integer, fraction and Bernoulli output modes.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.crypto.mac import hmac_sha256
 from repro.obs.registry import get_registry
+
+_HMAC_BLOCK = 64  # SHA-256 block size in bytes.
 
 
 class PRF:
@@ -84,6 +88,10 @@ class PRF:
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         return self.fraction(data) < probability
 
+    def hot(self) -> "HotPRF":
+        """Return a :class:`HotPRF` producing identical outputs."""
+        return HotPRF(self._key, self._prefix)
+
     def keystream(self, nonce: bytes, length: int) -> bytes:
         """Return ``length`` pseudorandom bytes bound to ``nonce``.
 
@@ -101,3 +109,69 @@ class PRF:
             produced += len(block)
             counter += 1
         return b"".join(blocks)[:length]
+
+
+class HotPRF:
+    """Hot-loop evaluator producing bit-identical :class:`PRF` outputs.
+
+    ``repro.crypto.mac`` builds HMAC-SHA256 from scratch per call (pure
+    Python key padding and XOR), which dominates profiles when a PRF is
+    evaluated per packet — e.g. statfl's per-node sketch coins or
+    PAAI-1's secure sampling in the fast-path replay. The RFC 2104
+    construction keys both hash passes with data that depends only on
+    the key (and here also the domain-separation prefix), so this class
+    precomputes the inner/outer digest states once and pays two C-level
+    ``copy()``/``update()`` rounds per evaluation. Equality with
+    :meth:`PRF.fraction`/:meth:`PRF.bernoulli` is pinned by the test
+    suite.
+
+    Deliberately *not* instrumented: the ``crypto.prf.calls`` counter
+    exists to audit protocol-level PRF usage on the event engine; batch
+    consumers account for their own work.
+    """
+
+    __slots__ = ("_inner", "_outer")
+
+    #: ``float(2**64)`` — exact (power of two), matching ``PRF.fraction``'s
+    #: divisor for 8 fraction bytes.
+    _SCALE = float(1 << 64)
+
+    def __init__(self, key: bytes, prefix: bytes = b"") -> None:
+        key = bytes(key)
+        if len(key) > _HMAC_BLOCK:
+            key = hashlib.sha256(key).digest()
+        key = key.ljust(_HMAC_BLOCK, b"\x00")
+        self._inner = hashlib.sha256(
+            bytes(byte ^ 0x36 for byte in key) + prefix
+        )
+        self._outer = hashlib.sha256(bytes(byte ^ 0x5C for byte in key))
+
+    def digest(self, data: bytes) -> bytes:
+        """Raw 32-byte output, equal to ``PRF.digest`` for the same
+        key/label (the prefix passed at construction must be
+        ``label.encode() + b"\\x00"``, as :meth:`PRF.hot` arranges)."""
+        inner = self._inner.copy()
+        inner.update(data)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        return outer.digest()
+
+    def fraction(self, data: bytes) -> float:
+        """Uniform-in-[0, 1) float, equal to :meth:`PRF.fraction`."""
+        value = int.from_bytes(self.digest(data)[:8], "big")
+        return value / self._SCALE
+
+    def bernoulli(self, data: bytes, probability: float) -> bool:
+        """Deterministic coin, equal to :meth:`PRF.bernoulli`.
+
+        Inlined digest+fraction: this is the per-packet operation hot
+        loops call, so it keeps to a single Python frame.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        inner = self._inner.copy()
+        inner.update(data)
+        outer = self._outer.copy()
+        outer.update(inner.digest())
+        value = int.from_bytes(outer.digest()[:8], "big")
+        return value / self._SCALE < probability

@@ -103,12 +103,15 @@ def run_figure2(
     seed: int = 0,
     shards: Optional[int] = None,
     jobs: int = 1,
+    backend: str = "model",
 ) -> Figure2Result:
     """Regenerate one Figure 2 panel (a: full-ack, b: paai1, c: paai2; the
     harness accepts any registry protocol for extension studies).
 
     ``jobs`` fans the Monte-Carlo shards over a process pool; the panel
-    is identical for every ``jobs`` value at the same seed.
+    is identical for every ``jobs`` value at the same seed. ``backend``
+    selects the execution engine (``model``, the historical default;
+    ``fastpath``; or ``event`` — see ``docs/PERFORMANCE.md``).
     """
     if scenario is None:
         scenario = paper_scenario()
@@ -121,7 +124,7 @@ def run_figure2(
             ) from None
     experiment = DetectionExperiment(
         protocol, scenario, runs=runs, horizon=horizon, seed=seed,
-        shards=shards,
+        shards=shards, backend=backend,
     )
     return Figure2Result(
         protocol=protocol,

@@ -65,6 +65,34 @@ CHECKPOINT_FORMAT = "repro-report-checkpoint"
 CHECKPOINT_VERSION = 1
 
 
+class OversubscriptionWarning(UserWarning):
+    """``jobs`` exceeded the machine's core count; the run fell back to
+    serial execution (results are identical either way)."""
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Effective worker count for a ``jobs`` request.
+
+    ``jobs == 0`` means "all cores" and is resolved downstream by the
+    parallel engine. A request *above* the core count buys nothing —
+    experiment shards are CPU-bound, so oversubscribed pools only add
+    scheduler thrash and per-worker memory — and usually signals a
+    copy-pasted flag from a bigger machine; it warns and falls back to a
+    serial run (byte-identical output, only runtimes differ).
+    """
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        warnings.warn(
+            f"jobs={jobs} exceeds this machine's {cpus} cores; "
+            "falling back to a serial run (output is identical for "
+            "every jobs value, only wall-clock time differs)",
+            OversubscriptionWarning,
+            stacklevel=3,
+        )
+        return 1
+    return jobs
+
+
 @dataclass
 class ExperimentRecord:
     """One regenerated experiment."""
@@ -172,7 +200,11 @@ class ReproductionReport:
 
     scale: str
     seed: int = 0
+    #: Effective worker count the report ran with.
     jobs: int = 1
+    #: Worker count the caller asked for; differs from ``jobs`` when the
+    #: oversubscription guard forced a serial run.
+    requested_jobs: Optional[int] = None
     records: List[ExperimentRecord] = field(default_factory=list)
 
     @property
@@ -238,6 +270,10 @@ class ReproductionReport:
             "scale": self.scale,
             "seed": self.seed,
             "jobs": self.jobs,
+            "requested_jobs": (
+                self.jobs if self.requested_jobs is None
+                else self.requested_jobs
+            ),
             "total_seconds": self.total_seconds,
             "experiments": [
                 {
@@ -402,6 +438,8 @@ def run_all(
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
+    requested_jobs = jobs
+    jobs = resolve_jobs(jobs)
     specs = build_specs(scale, seed)
     completed: Dict[str, ExperimentRecord] = {}
     if resume_path:
@@ -419,6 +457,8 @@ def run_all(
             write_checkpoint(resume_path, scale, seed, specs, completed)
         if progress is not None:
             progress(record.name)
-    report = ReproductionReport(scale=scale, seed=seed, jobs=jobs)
+    report = ReproductionReport(
+        scale=scale, seed=seed, jobs=jobs, requested_jobs=requested_jobs
+    )
     report.records = [completed[spec.name] for spec in specs]
     return report

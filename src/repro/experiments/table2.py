@@ -90,6 +90,7 @@ def _average_detection_minutes(
     sending_rate: float,
     shards: Optional[int] = None,
     jobs: int = 1,
+    backend: str = "model",
 ) -> float:
     experiment = DetectionExperiment(
         protocol,
@@ -98,6 +99,7 @@ def _average_detection_minutes(
         horizon=_DETECTION_HORIZONS[protocol],
         seed=seed,
         shards=shards,
+        backend=backend,
     )
     packets = experiment.run(jobs=jobs).average_detection_packets()
     return packets / sending_rate / 60.0
@@ -129,11 +131,14 @@ def run_table2(
     seed: int = 0,
     shards: Optional[int] = None,
     jobs: int = 1,
+    backend: str = "model",
 ) -> Table2Result:
     """Regenerate Table 2 (bounds + averages).
 
     ``jobs`` fans the Monte-Carlo shards of the detection averages over a
     process pool; the result is identical for every ``jobs`` value.
+    ``backend`` selects the detection-average execution engine (the
+    storage average always runs on the wire simulator, as in the paper).
     """
     if params is None:
         params = ProtocolParams()
@@ -163,7 +168,7 @@ def run_table2(
                 detection_bound_minutes=bound_minutes,
                 detection_average_minutes=_average_detection_minutes(
                     protocol, scenario, runs, seed, sending_rate,
-                    shards=shards, jobs=jobs,
+                    shards=shards, jobs=jobs, backend=backend,
                 ),
                 storage_bound_packets=bound_storage,
                 storage_average_packets=_average_storage_packets(

@@ -33,6 +33,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.metrics.confusion import FpFnCurve, curve_from_convictions
 from repro.metrics.convergence import first_exact_round
+from repro.net.backend import BACKEND_NAMES, DetectionRequest, get_backend
 from repro.parallel.engine import run_tasks, shard_seed, shard_sizes
 from repro.protocols import models
 from repro.workloads.scenarios import Scenario
@@ -85,6 +86,13 @@ class DetectionResult:
     convictions: np.ndarray
     estimates_last: np.ndarray
     malicious_links: List[int] = field(default_factory=list)
+    #: Execution backend the experiment selected ("model", "fastpath",
+    #: or "event").
+    backend: str = "model"
+    #: Engine that actually produced each run. Wire backends may fall
+    #: back per request (e.g. fastpath routes fault schedules to the
+    #: event engine), so this is the audit trail; empty for "model".
+    engines: List[str] = field(default_factory=list)
 
     def convergence_packets(self, sigma: float) -> Optional[int]:
         return self.curve.convergence_packets(sigma)
@@ -141,6 +149,14 @@ class DetectionExperiment:
         Number of independently seeded run chunks; ``None`` (default)
         resolves via :func:`resolve_shards`. A single shard reproduces
         the historical single-generator behavior exactly.
+    backend:
+        Execution engine: ``"model"`` (closed-form outcome models, the
+        historical default, byte-identical to before the seam existed),
+        ``"fastpath"`` (vectorized wire replay with automatic event
+        fallback), or ``"event"`` (full discrete-event simulation).
+    faults:
+        Optional fault schedule, only supported by the wire backends
+        (the closed-form models cannot express fault injection).
     """
 
     def __init__(
@@ -153,9 +169,21 @@ class DetectionExperiment:
         seed: int = 0,
         fl_sampling: float = 0.01,
         shards: Optional[int] = None,
+        fl_interval: int = 1000,
+        backend: str = "model",
+        faults=None,
     ) -> None:
         if runs <= 0:
             raise ConfigurationError("runs must be positive")
+        if backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if faults is not None and backend == "model":
+            raise ConfigurationError(
+                "fault schedules require a wire backend "
+                "(backend='fastpath' or 'event')"
+            )
         self.protocol = protocol
         self.scenario = scenario
         self.runs = runs
@@ -170,6 +198,9 @@ class DetectionExperiment:
             raise ConfigurationError("checkpoints exceed horizon")
         self.seed = seed
         self.fl_sampling = fl_sampling
+        self.fl_interval = fl_interval
+        self.backend = backend
+        self.faults = faults
         self.shards = resolve_shards(runs, shards)
 
     # -- public API ----------------------------------------------------------
@@ -178,13 +209,23 @@ class DetectionExperiment:
         """Execute the batch; ``jobs`` workers process shards concurrently.
 
         The result is identical for every ``jobs`` value: shards are
-        seeded from the root seed by shard index and concatenated in
-        shard order, so parallelism only changes wall-clock time.
+        seeded from the root seed by shard index (model backend) or
+        partitioned by absolute run offset (wire backends) and
+        concatenated in shard order, so parallelism only changes
+        wall-clock time.
         """
+        engines: List[str] = []
+        reasons: List[str] = []
         if self.shards == 1:
-            convictions, estimates = self._run_arrays()
+            if self.backend == "model":
+                convictions, estimates = self._run_arrays()
+            else:
+                convictions, estimates, engines, reasons = self._run_wire(
+                    self.runs, run_offset=0
+                )
         else:
             sizes = shard_sizes(self.runs, self.shards)
+            offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
             payloads = [
                 (
                     self.protocol,
@@ -192,14 +233,26 @@ class DetectionExperiment:
                     size,
                     self.horizon,
                     self.checkpoints,
-                    shard_seed(self.seed, index, label="mc-shard"),
+                    # Model shards draw from independently derived seeds;
+                    # wire shards share the root seed and partition the
+                    # absolute run-index space instead, so every shard
+                    # decomposition is byte-identical to shards=1.
+                    self.seed
+                    if self.backend != "model"
+                    else shard_seed(self.seed, index, label="mc-shard"),
                     self.fl_sampling,
+                    self.fl_interval,
+                    self.backend,
+                    self.faults,
+                    int(offset),
                 )
-                for index, size in enumerate(sizes)
+                for index, (size, offset) in enumerate(zip(sizes, offsets))
             ]
             parts = run_tasks(_run_detection_shard, payloads, jobs=jobs)
             convictions = np.concatenate([part[0] for part in parts], axis=1)
             estimates = np.concatenate([part[1] for part in parts], axis=0)
+            engines = [engine for part in parts for engine in part[2]]
+            reasons = sorted({reason for part in parts for reason in part[3]})
         curve = curve_from_convictions(
             self.checkpoints, convictions, self.scenario.malicious_links
         )
@@ -210,6 +263,8 @@ class DetectionExperiment:
             convictions=convictions,
             estimates_last=estimates,
             malicious_links=self.scenario.malicious_links,
+            backend=self.backend,
+            engines=engines,
         )
 
     def _run_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -217,6 +272,35 @@ class DetectionExperiment:
         if self.protocol == "statfl":
             return self._run_statfl()
         return self._run_modelled()
+
+    # -- wire backends ---------------------------------------------------------
+
+    def _run_wire(self, runs: int, run_offset: int):
+        """Delegate ``runs`` wire runs to the selected backend.
+
+        Returns ``(convictions, estimates_last, engines, reasons)``. Run
+        seeds derive from ``(seed, run_offset + i)``, so shards that
+        partition the offset space reproduce the unsharded batch.
+        """
+        request = DetectionRequest(
+            protocol=self.protocol,
+            scenario=self.scenario,
+            runs=runs,
+            horizon=self.horizon,
+            checkpoints=self.checkpoints,
+            seed=self.seed,
+            fl_sampling=self.fl_sampling,
+            fl_interval=self.fl_interval,
+            faults=self.faults,
+            run_offset=run_offset,
+        )
+        result = get_backend(self.backend).run(request)
+        return (
+            result.convictions,
+            result.estimates_last,
+            result.engines,
+            result.reasons,
+        )
 
     # -- model-driven protocols ------------------------------------------------
 
@@ -322,9 +406,23 @@ def _run_detection_shard(payload):
     """Execute one shard of a sharded batch (possibly in a worker).
 
     Module-level so payloads pickle by reference; a shard is simply a
-    single-shard :class:`DetectionExperiment` at the shard's derived seed.
+    single-shard :class:`DetectionExperiment` at the shard's derived seed
+    (model backend) or at the root seed plus a run offset (wire
+    backends). Returns ``(convictions, estimates, engines, reasons)``.
     """
-    protocol, scenario, runs, horizon, checkpoints, seed, fl_sampling = payload
+    (
+        protocol,
+        scenario,
+        runs,
+        horizon,
+        checkpoints,
+        seed,
+        fl_sampling,
+        fl_interval,
+        backend,
+        faults,
+        run_offset,
+    ) = payload
     shard = DetectionExperiment(
         protocol,
         scenario,
@@ -334,8 +432,14 @@ def _run_detection_shard(payload):
         seed=seed,
         fl_sampling=fl_sampling,
         shards=1,
+        fl_interval=fl_interval,
+        backend=backend,
+        faults=faults,
     )
-    return shard._run_arrays()
+    if backend == "model":
+        convictions, estimates = shard._run_arrays()
+        return convictions, estimates, [], []
+    return shard._run_wire(runs, run_offset=run_offset)
 
 
 def _grouped_multinomial(rng, trials, pvals):

@@ -1,0 +1,236 @@
+"""Execution-backend seam for detection experiments.
+
+Detection experiments historically hard-coded one of two execution
+strategies: the closed-form per-round outcome models in
+``repro.mc.detection`` ("model") or the discrete-event wire simulator
+("event", via ``repro.net.simulator``). This module extracts the seam so
+experiments *select* an engine instead:
+
+``model``
+    Closed-form Monte-Carlo outcome models — the historical default for
+    figure2/table2, unchanged byte-for-byte. Not a
+    :class:`SimulationBackend`; ``repro.mc.detection`` dispatches to it
+    directly.
+``event``
+    The full discrete-event engine (:class:`EventBackend`): one
+    :class:`~repro.net.simulator.Simulator` per run, real packets on real
+    links. Slow (~30-50k events/sec) but handles every scenario,
+    including fault schedules and bidirectional adversaries.
+``fastpath``
+    The vectorized round replay (:mod:`repro.net.fastpath`): same
+    ``RngFactory`` streams, same per-stream draw order, byte-identical
+    detection outcomes — 10-100x faster. Requests it cannot replay
+    exactly (fault schedules, unported protocols, adversarial timing
+    knobs) automatically fall back to :class:`EventBackend`; the engine
+    actually used is recorded per run in
+    :attr:`BackendRunResult.engines`.
+
+Both wire backends drive traffic with the same serialized-round schedule
+(:func:`wire_send_interval`): rounds are spaced widely enough that every
+round's packets, probes, reports, and timers fully resolve before the
+next round starts, which is what makes the per-round fast replay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.engine import shard_seed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.spec import FaultSpec
+    from repro.workloads.scenarios import Scenario
+
+#: Engine names accepted by the experiment layer (``model`` is handled by
+#: ``repro.mc.detection`` itself; ``get_backend`` resolves the other two).
+BACKEND_NAMES = ("model", "fastpath", "event")
+
+#: Label used to derive the per-run root seed from the experiment seed.
+RUN_SEED_LABEL = "wire-run"
+
+
+def wire_send_interval(params) -> float:
+    """Send spacing that keeps wire rounds strictly serialized.
+
+    A round's whole lifecycle — data transit, e2e ack, probe after the
+    ``1.05 r0`` ack timer, report cascade, and all hold/report timers —
+    resolves within ``< 5.5 r0`` of the send (plus the probe delay twice,
+    for the delayed-sampling variants where the probe itself trails by
+    ``probe_delay`` and arms its own ``1.05 r0`` timer). Spacing sends by
+    ``6 r0 + 2 probe_delay`` therefore guarantees no two rounds ever
+    share in-flight state, so per-link/per-adversary RNG streams are
+    consumed in whole-round bursts — the invariant the fastpath replay
+    depends on.
+    """
+    return 6.0 * params.r0 + 2.0 * params.probe_delay
+
+
+def run_seed(experiment_seed: int, run_index: int) -> int:
+    """Root seed for one wire run (shared by both wire backends)."""
+    return shard_seed(experiment_seed, run_index, label=RUN_SEED_LABEL)
+
+
+@dataclass
+class DetectionRequest:
+    """Everything a backend needs to produce detection outcomes."""
+
+    protocol: str
+    scenario: "Scenario"
+    runs: int
+    horizon: int
+    checkpoints: Sequence[int]
+    seed: int
+    fl_sampling: float = 0.01
+    fl_interval: int = 1000
+    faults: Optional["FaultSpec"] = None
+    #: Absolute index of the first run. Per-run seeds are derived from
+    #: ``(seed, run_offset + i)``, so a sharded batch that splits runs
+    #: into contiguous offset ranges reproduces the unsharded batch
+    #: byte-for-byte.
+    run_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runs <= 0:
+            raise ConfigurationError(f"runs must be positive, got {self.runs}")
+        if self.run_offset < 0:
+            raise ConfigurationError(
+                f"run_offset must be non-negative, got {self.run_offset}"
+            )
+        checkpoints = [int(c) for c in self.checkpoints]
+        if not checkpoints or checkpoints != sorted(checkpoints):
+            raise ConfigurationError("checkpoints must be a sorted non-empty list")
+        if checkpoints[0] <= 0:
+            raise ConfigurationError("checkpoints must be positive")
+        self.checkpoints = checkpoints
+
+
+@dataclass
+class BackendRunResult:
+    """Per-run detection outcomes produced by a wire backend.
+
+    Attributes
+    ----------
+    convictions:
+        ``(len(checkpoints), runs, path_length)`` boolean array: per
+        checkpoint, per run, which links exceed the decision threshold.
+    estimates_last:
+        ``(runs, path_length)`` per-link loss estimates at the final
+        checkpoint.
+    engines:
+        Engine actually used for each run (``"fastpath"`` or
+        ``"event"``) — the audit trail proving fallback routing.
+    reasons:
+        Why runs fell back to the event engine (empty when none did).
+    """
+
+    convictions: np.ndarray
+    estimates_last: np.ndarray
+    engines: List[str]
+    reasons: List[str] = field(default_factory=list)
+
+
+class SimulationBackend:
+    """A strategy that executes wire detection runs."""
+
+    name = "abstract"
+
+    def run(self, request: DetectionRequest) -> BackendRunResult:
+        raise NotImplementedError
+
+
+def _protocol_kwargs(request: DetectionRequest) -> dict:
+    if request.protocol == "statfl":
+        return {
+            "fl_sampling": request.fl_sampling,
+            "interval_length": request.fl_interval,
+        }
+    return {}
+
+
+def decision_thresholds(protocol_name: str, params) -> List[float]:
+    """Per-link conviction thresholds, mirroring ``WireProtocol``."""
+    if params.decision_threshold is not None:
+        return [params.decision_threshold] * params.path_length
+    from repro.protocols.models import calibrated_thresholds
+
+    return calibrated_thresholds(protocol_name, params)
+
+
+def run_event_detection(
+    request: DetectionRequest, run_index: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One event-engine run: ``(convictions (C, d) bool, estimates (d,))``.
+
+    Drives ``checkpoints[-1]`` serialized rounds and reads the source's
+    estimates mid-gap (``0.5 r0`` before each checkpoint round starts),
+    when every prior round has fully resolved.
+    """
+    from repro.net.simulator import Simulator
+
+    params = request.scenario.params
+    simulator = Simulator(
+        seed=run_seed(request.seed, request.run_offset + run_index)
+    )
+    protocol = request.scenario.build_protocol(
+        request.protocol, simulator, **_protocol_kwargs(request)
+    )
+    if request.faults is not None:
+        from repro.faults import install_faults
+
+        install_faults(protocol.path, request.faults)
+    interval = wire_send_interval(params)
+    start = simulator.now
+    source = protocol.source
+    for index in range(request.checkpoints[-1]):
+        simulator.schedule_at(start + index * interval, source.send_data)
+    thresholds = np.asarray(protocol.decision_thresholds())
+    convictions = np.zeros(
+        (len(request.checkpoints), params.path_length), dtype=bool
+    )
+    estimates = np.zeros(params.path_length)
+    for slot, checkpoint in enumerate(request.checkpoints):
+        simulator.run(until=start + checkpoint * interval - 0.5 * params.r0)
+        estimates = np.asarray(source.estimates())
+        convictions[slot] = estimates > thresholds
+    return convictions, estimates
+
+
+class EventBackend(SimulationBackend):
+    """Reference engine: one full discrete-event simulation per run."""
+
+    name = "event"
+
+    def run(self, request: DetectionRequest) -> BackendRunResult:
+        params = request.scenario.params
+        convictions = np.zeros(
+            (len(request.checkpoints), request.runs, params.path_length),
+            dtype=bool,
+        )
+        estimates_last = np.zeros((request.runs, params.path_length))
+        for run_index in range(request.runs):
+            run_conv, run_est = run_event_detection(request, run_index)
+            convictions[:, run_index, :] = run_conv
+            estimates_last[run_index] = run_est
+        return BackendRunResult(
+            convictions=convictions,
+            estimates_last=estimates_last,
+            engines=["event"] * request.runs,
+        )
+
+
+def get_backend(name: str) -> SimulationBackend:
+    """Resolve a wire backend by name (``fastpath`` or ``event``)."""
+    if name == "event":
+        return EventBackend()
+    if name == "fastpath":
+        from repro.net.fastpath import FastpathBackend
+
+        return FastpathBackend()
+    raise ConfigurationError(
+        f"unknown wire backend {name!r}; expected one of: fastpath, event "
+        "(the 'model' backend is handled by repro.mc.detection directly)"
+    )

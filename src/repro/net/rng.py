@@ -36,11 +36,20 @@ class RngFactory:
         """The root experiment seed."""
         return self._seed
 
-    def stream(self, label: str) -> random.Random:
-        """Return a fresh stream for ``label`` (same label -> same stream)."""
+    def stream_seed(self, label: str) -> int:
+        """Integer seed of the ``label`` stream.
+
+        Exposed so alternative draw engines (``repro.net.fastpath``) can
+        reproduce a stream's exact sequence without going through
+        ``random.Random``.
+        """
         material = f"{self._seed}:{label}".encode()
         digest = hashlib.sha256(material).digest()
-        return random.Random(int.from_bytes(digest[:8], "big"))
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, label: str) -> random.Random:
+        """Return a fresh stream for ``label`` (same label -> same stream)."""
+        return random.Random(self.stream_seed(label))
 
     def nonce_source(self, label: str):
         """Return an ``rng(n) -> bytes`` callable for cipher nonces."""

@@ -216,6 +216,14 @@ class WireProtocol:
     #: Registry name; subclasses override.
     name = "abstract"
 
+    #: Vectorized round-model family implemented by
+    #: ``repro.net.fastpath`` (``"onion-ack"``, ``"paai1"``,
+    #: ``"statfl"``), or ``None`` when the protocol has no batched round
+    #: model. ``None`` is the safe default: the backend seam
+    #: (``repro.net.backend``) falls back to per-packet execution on the
+    #: event engine, so unported protocols keep working unmodified.
+    fastpath_family: Optional[str] = None
+
     def __init__(
         self,
         simulator: Simulator,

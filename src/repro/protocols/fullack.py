@@ -138,6 +138,8 @@ class FullAckProtocol(WireProtocol):
     """Wire instance of the full-ack protocol."""
 
     name = "full-ack"
+    #: e2e ack + onion-probe lifecycle, replayable by repro.net.fastpath.
+    fastpath_family = "onion-ack"
 
     def _build_nodes(self):
         params = self.params

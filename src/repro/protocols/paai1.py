@@ -129,6 +129,8 @@ class Paai1Protocol(WireProtocol):
     """Wire instance of PAAI-1."""
 
     name = "paai1"
+    #: Sampled onion-probe lifecycle, replayable by repro.net.fastpath.
+    fastpath_family = "paai1"
 
     def _build_nodes(self):
         params = self.params

@@ -381,6 +381,9 @@ class SigAckProtocol(WireProtocol):
     """
 
     name = "sig-ack"
+    #: Draw-identical to full-ack on the wire (signatures consume no
+    #: stream draws), so it shares the onion-ack fastpath replay.
+    fastpath_family = "onion-ack"
 
     def __init__(self, *args, pool_height: int = 6, **kwargs) -> None:
         self._pool_height = pool_height

@@ -300,6 +300,8 @@ class StatisticalFLProtocol(WireProtocol):
     """
 
     name = "statfl"
+    #: Sketch-counter + interval-request lifecycle (repro.net.fastpath).
+    fastpath_family = "statfl"
 
     def __init__(
         self,

@@ -1,0 +1,18 @@
+# repro: module=repro.mc.fake_batch
+"""Fixture: per-packet Python loops in batch-eligible code (FP001)."""
+
+
+def per_packet_scores(num_packets, rng):
+    scores = []
+    for _ in range(num_packets):
+        scores.append(rng.random())
+    return scores
+
+
+def replay(config, rng):
+    total = 0.0
+    for _ in range(config.horizon):
+        total += rng.random()
+    for _ in range(len(config.packets)):
+        total += rng.random()
+    return total

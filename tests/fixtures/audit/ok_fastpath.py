@@ -1,0 +1,15 @@
+# repro: module=repro.mc.fake_batch_ok
+"""Fixture twin: batched draws, allowed driver loops, out-of-scope names."""
+
+
+def batched_scores(num_packets, rng):
+    return rng.random(num_packets)  # one batched draw, no Python loop
+
+
+def round_driver(checkpoint, replay):
+    for index in range(checkpoint):  # repro: allow(FP001) -- per-round driver
+        replay(index)
+
+
+def unrelated(width):
+    return [0] * sum(1 for _ in range(width))  # not a packet-scale bound

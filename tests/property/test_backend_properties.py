@@ -1,0 +1,189 @@
+"""Property suite: the fastpath replay is byte-identical to the event
+engine — detection outcomes, metrics snapshots, and conviction rounds —
+for every ported protocol, across random seeds, loss placements, and
+adversary configurations; requests it cannot replay exactly provably
+route to the event engine.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams
+from repro.faults.spec import preset
+from repro.net.backend import DetectionRequest, get_backend
+from repro.net.fastpath import PORTED_FAMILIES, classify_request
+from repro.obs.registry import MetricsRegistry, using_registry
+from repro.protocols.registry import available_protocols, protocol_class
+from repro.workloads.scenarios import Scenario
+
+#: Protocols with a vectorized round model (family in PORTED_FAMILIES).
+PORTED = [
+    name for name in available_protocols()
+    if getattr(protocol_class(name), "fastpath_family", None)
+    in PORTED_FAMILIES
+]
+UNPORTED = [name for name in available_protocols() if name not in PORTED]
+
+#: Counter families that must match across engines (nonzero series).
+SCOPED_COUNTERS = frozenset({
+    "net.link.transmissions",
+    "net.link.natural_losses",
+    "net.node.drops",
+    "protocol.rounds",
+    "protocol.probes_sent",
+    "protocol.acks_verified",
+    "protocol.report_timeouts",
+    "protocol.sampling_hits",
+})
+
+
+def _scoped(registry):
+    out = {}
+    for entry in registry.snapshot()["counters"]:
+        if entry["name"] in SCOPED_COUNTERS and entry["value"]:
+            key = (entry["name"], tuple(sorted(entry["labels"].items())))
+            out[key] = entry["value"]
+    return out
+
+
+def _run(backend_name, request):
+    registry = MetricsRegistry()
+    with using_registry(registry):
+        result = get_backend(backend_name).run(request)
+    return result, _scoped(registry)
+
+
+def _request(protocol, scenario, seed, horizon):
+    return DetectionRequest(
+        protocol=protocol,
+        scenario=scenario,
+        runs=1,
+        horizon=horizon,
+        checkpoints=[horizon // 2, horizon],
+        seed=seed,
+        # Aggressive statfl sketch parameters so short horizons exercise
+        # the interval-request machinery several times over.
+        fl_sampling=0.25,
+        fl_interval=20,
+    )
+
+
+adversary_placements = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=5),
+    values=st.floats(min_value=0.0, max_value=0.3,
+                     allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=2,
+)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        protocol=st.sampled_from(PORTED),
+        seed=st.integers(min_value=0, max_value=2**48),
+        placement=adversary_placements,
+        # params require natural_loss < alpha (0.03 by default).
+        rho=st.floats(min_value=0.0, max_value=0.025, allow_nan=False),
+    )
+    def test_outcomes_and_metrics_identical(
+        self, protocol, seed, placement, rho
+    ):
+        params = ProtocolParams(natural_loss=rho)
+        scenario = Scenario(params=params, malicious_nodes=placement)
+        horizon = 40 if protocol in ("full-ack", "sig-ack") else 80
+        request = _request(protocol, scenario, seed, horizon)
+        fast, fast_counters = _run("fastpath", request)
+        event, event_counters = _run("event", request)
+        assert fast.engines == ["fastpath"]
+        assert np.array_equal(fast.convictions, event.convictions)
+        assert np.array_equal(fast.estimates_last, event.estimates_last)
+        assert fast_counters == event_counters
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        protocol=st.sampled_from(PORTED),
+        seed=st.integers(min_value=0, max_value=2**48),
+    )
+    def test_conviction_rounds_identical(self, protocol, seed):
+        """Per-checkpoint conviction tensors agree at every checkpoint,
+        so the first-conviction round is identical across engines."""
+        scenario = Scenario(malicious_nodes={4: 0.15})
+        horizon = 60
+        request = DetectionRequest(
+            protocol=protocol,
+            scenario=scenario,
+            runs=1,
+            horizon=horizon,
+            checkpoints=[15, 30, 45, 60],
+            seed=seed,
+            fl_sampling=0.25,
+            fl_interval=20,
+        )
+        fast, _ = _run("fastpath", request)
+        event, _ = _run("event", request)
+        first_fast = np.argmax(fast.convictions.any(axis=2), axis=0)
+        first_event = np.argmax(event.convictions.any(axis=2), axis=0)
+        assert np.array_equal(fast.convictions, event.convictions)
+        assert np.array_equal(first_fast, first_event)
+
+
+class TestFallbackRouting:
+    def test_unported_protocols_delegate_to_event(self):
+        scenario = Scenario(malicious_nodes={4: 0.02})
+        for protocol in UNPORTED:
+            request = _request(protocol, scenario, seed=3, horizon=20)
+            reason = classify_request(request)
+            assert reason is not None and "vectorized" in reason
+            result, _ = _run("fastpath", request)
+            assert result.engines == ["event"]
+            assert result.reasons == [reason]
+
+    def test_fault_schedules_route_to_event(self):
+        scenario = Scenario(malicious_nodes={4: 0.02})
+        request = _request("full-ack", scenario, seed=3, horizon=20)
+        request.faults = preset("benign-jitter")
+        assert "fault schedule" in classify_request(request)
+        result, _ = _run("fastpath", request)
+        assert result.engines == ["event"]
+
+    def test_bidirectional_adversaries_route_to_event(self):
+        scenario = Scenario(
+            malicious_nodes={4: 0.02}, bidirectional=True
+        )
+        request = _request("full-ack", scenario, seed=3, horizon=20)
+        assert "reverse path" in classify_request(request)
+        result, _ = _run("fastpath", request)
+        assert result.engines == ["event"]
+
+    def test_adversarial_timing_knobs_route_to_event(self):
+        scenario_for = lambda params: Scenario(  # noqa: E731
+            params=params, malicious_nodes={4: 0.02}
+        )
+        retried = _request(
+            "full-ack", scenario_for(ProtocolParams(probe_retries=2)),
+            seed=3, horizon=20,
+        )
+        assert "retransmission" in classify_request(retried)
+        windowed = _request(
+            "full-ack", scenario_for(ProtocolParams(score_window=50)),
+            seed=3, horizon=20,
+        )
+        assert "windowed" in classify_request(windowed)
+        params = ProtocolParams()
+        tight = _request(
+            "full-ack",
+            scenario_for(
+                ProtocolParams(freshness_window=0.1 * params.r0)
+            ),
+            seed=3, horizon=20,
+        )
+        assert "freshness" in classify_request(tight)
+
+    def test_eligible_request_classifies_clean(self):
+        scenario = Scenario(malicious_nodes={4: 0.02})
+        for protocol in PORTED:
+            assert classify_request(
+                _request(protocol, scenario, seed=3, horizon=20)
+            ) is None

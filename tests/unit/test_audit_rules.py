@@ -88,6 +88,18 @@ class TestFaultsFamily:
         assert audit_fixture("ok_faults.py") == []
 
 
+class TestFastpathFamily:
+    def test_violations_caught(self):
+        findings = audit_fixture("bad_fastpath.py")
+        counts = rule_counts(findings)
+        # range(num_packets), range(config.horizon), range(len(packets)).
+        assert counts["FP001"] == 3
+        assert all(f.severity == "warning" for f in findings)
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_fastpath.py") == []
+
+
 def test_fixture_files_never_leak_other_rules():
     """Each bad fixture triggers exactly its own family (plus nothing)."""
     expected_families = {
@@ -96,6 +108,7 @@ def test_fixture_files_never_leak_other_rules():
         "bad_simtime.py": {"ST001"},
         "bad_iteration.py": {"ITER001", "ITER002"},
         "bad_faults.py": {"FI001"},
+        "bad_fastpath.py": {"FP001"},
     }
     for name, expected in expected_families.items():
         seen = set(rule_counts(audit_fixture(name)))
