@@ -55,10 +55,15 @@ def run_once(benchmark, func, *args, **kwargs):
     benchmark.extra_info["events_processed"] = registry.counter_total(
         "sim.events"
     )
-    benchmark.extra_info["scale"] = (
+    # Only record the knobs the benchmark actually has — absent knobs
+    # must not surface as null fields in the telemetry file.
+    scale = (
         kwargs.get("runs") or kwargs.get("packets") or kwargs.get("count")
     )
-    benchmark.extra_info["seed"] = kwargs.get("seed")
+    if scale is not None:
+        benchmark.extra_info["scale"] = scale
+    if kwargs.get("seed") is not None:
+        benchmark.extra_info["seed"] = kwargs["seed"]
     return result
 
 
@@ -113,9 +118,10 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in bench_session.benchmarks:
         stats = getattr(bench, "stats", None)
         extra = getattr(bench, "extra_info", {}) or {}
+        seconds = getattr(stats, "mean", None) if stats else None
         record = {
             "name": bench.name,
-            "seconds": getattr(stats, "mean", None) if stats else None,
+            "seconds": seconds,
             "scale": extra.get("scale"),
             "seed": extra.get("seed"),
         }
@@ -132,10 +138,23 @@ def pytest_sessionfinish(session, exitstatus):
                 fastpath_seconds=extra.get("fastpath_seconds"),
                 speedup=extra.get("speedup"),
                 equivalent=extra.get("equivalent"),
+                profiler_off_ratio=extra.get("profiler_off_ratio"),
             )
-            fastpath_records.append(record)
+            fastpath_records.append(
+                {k: v for k, v in record.items() if v is not None}
+            )
+        elif seconds is None:
+            # Deselected/skipped benchmarks have no measurement: say so
+            # explicitly instead of emitting a junk all-null record.
+            records.append({"name": bench.name, "status": "skipped"})
         else:
-            record["events_processed"] = extra.get("events_processed", 0)
+            # Instrumented benchmarks (the ``once`` fixture) carry their
+            # knobs in extra_info; plain analytic benchmarks carry none —
+            # either way, only record fields that actually have values.
+            record = {"name": bench.name, "seconds": seconds}
+            for key in ("events_processed", "scale", "seed"):
+                if extra.get(key) is not None:
+                    record[key] = extra[key]
             records.append(record)
     if records:
         records.sort(key=lambda record: record["name"])

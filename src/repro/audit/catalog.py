@@ -14,6 +14,7 @@ from repro.audit import (
     rules_fastpath,
     rules_faults,
     rules_iteration,
+    rules_obs,
     rules_simtime,
 )
 from repro.audit.engine import PARSE_ERROR, UNKNOWN_SUPPRESSION, Rule
@@ -36,6 +37,7 @@ def all_rules() -> List[Rule]:
         *rules_simtime.RULES,
         *rules_iteration.RULES,
         *rules_fastpath.RULES,
+        *rules_obs.RULES,
     ]
     return sorted(rules, key=lambda rule: rule.id)
 

@@ -1,0 +1,113 @@
+"""Observability rules (OBS*): ad-hoc emission in instrumented scopes.
+
+Every identification decision the simulator makes is recorded through
+two structured channels — the metrics registry (``repro.obs.registry``)
+and the evidence ledger (``repro.obs.ledger``). Both are process-scoped,
+off by default, deterministic to snapshot, and byte-identical across the
+event and fastpath engines. A ``print(...)`` or an ad-hoc ``open(path,
+"w")`` inside the instrumented packages bypasses all of that: the output
+interleaves nondeterministically under parallel workers, never reaches
+``--metrics-out``/``--ledger-out``, and silently breaks the
+engine-equivalence gate that diff's the structured streams.
+
+Telemetry sinks themselves (``repro.obs``), the CLI, and the experiment
+report writers legitimately write files and stdout — they are outside
+the instrumented scope, so the rule simply does not apply there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.audit.engine import Finding, ModuleContext, Rule
+
+#: Packages whose emissions must route through registry/ledger APIs.
+INSTRUMENTED_SCOPE = (
+    "repro.net",
+    "repro.core",
+    "repro.mc",
+    "repro.protocols",
+    "repro.adversary",
+    "repro.faults",
+    "repro.workloads",
+)
+
+#: ``open`` mode strings that make the call a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open(...)`` call, if present."""
+    mode: Optional[ast.AST] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+class AdHocEmissionRule(Rule):
+    """OBS001 — print / ad-hoc file write in an instrumented scope."""
+
+    id = "OBS001"
+    family = "observability"
+    severity = "error"
+    summary = "ad-hoc print/file write bypasses the registry and ledger"
+    rationale = (
+        "Instrumented packages emit evidence through the metrics "
+        "registry and the evidence ledger so output stays deterministic, "
+        "off-by-default, and byte-identical across engines; a `print` or "
+        "`open(..., 'w')` there leaks state past `--metrics-out`/"
+        "`--ledger-out` and the equivalence gate. Route the emission "
+        "through `repro.obs`, or move the I/O out of the instrumented "
+        "scope."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_module(*INSTRUMENTED_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # Builtin print/open calls — a local import shadowing the
+            # name (e.g. `from x import print`) resolves in the import
+            # table and is judged by what it actually refers to.
+            if isinstance(func, ast.Name) and func.id not in ctx.imports:
+                if func.id == "print":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`print(...)` in an instrumented scope bypasses "
+                        "the metrics registry and evidence ledger; emit "
+                        "through `repro.obs` instead",
+                    )
+                elif func.id == "open":
+                    mode = _open_mode(node)
+                    if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`open(..., {mode!r})` writes a file from an "
+                            "instrumented scope; structured output "
+                            "belongs in the registry snapshot or the "
+                            "ledger JSONL",
+                        )
+            # sys.stdout.write / sys.stderr.write — same leak, different
+            # spelling.
+            elif isinstance(func, ast.Attribute) and func.attr == "write":
+                qualified = ctx.resolve(func)
+                if qualified in ("sys.stdout.write", "sys.stderr.write"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{qualified}(...)` in an instrumented scope "
+                        "bypasses the structured telemetry channels",
+                    )
+
+
+RULES: List[Rule] = [AdHocEmissionRule()]

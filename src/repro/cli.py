@@ -12,15 +12,19 @@ Usage::
     python -m repro.cli ablation {corollary1,corollary2,corollary3,
                                   incrimination,burst,window}
     python -m repro.cli obs summary --metrics m.json --trace t.jsonl
+    python -m repro.cli explain --ledger ledger.jsonl [--run N]
+    python -m repro.cli bench trend [--check|--strict]
 
 Every command prints a plain-text table; ``--json`` dumps the structured
 result instead.
 
 Observability: experiment commands accept ``--metrics-out FILE`` (metrics
-registry snapshot as JSON) and ``--trace-out FILE`` (round spans as
-JSONL). Monte-Carlo experiments (figure2, table2) have no wire packets,
-so when tracing is requested there, a companion wire run of the same
-protocol/scenario is captured on the event-driven simulator.
+registry snapshot as JSON), ``--trace-out FILE`` (round spans as JSONL),
+``--ledger-out FILE`` (the evidence ledger as JSONL, reconstructable via
+``explain``), and ``--profile`` (phase timers into the metrics
+snapshot). Monte-Carlo experiments (figure2, table2) have no wire
+packets, so when tracing is requested there, a companion wire run of the
+same protocol/scenario is captured on the event-driven simulator.
 """
 
 from __future__ import annotations
@@ -73,16 +77,30 @@ def _emit(args, result) -> None:
         print(result.render() if hasattr(result, "render") else result)
 
 
+class _ObsSession:
+    """Handle yielded by :func:`_observability` while capture is active.
+
+    ``extra`` entries are merged into the metrics payload at write time,
+    letting commands annotate the snapshot (e.g. figure2's
+    ``wire_backend`` section) without owning the file format.
+    """
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        self.extra: dict = {}
+
+
 @contextmanager
 def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
-    """Activate metrics/tracing for a command when its flags ask for it.
+    """Activate metrics/tracing/ledger capture when a command's flags ask.
 
-    Inside the block the fresh registry and collector are process-active,
-    so every simulator, path, crypto substrate, and agent constructed by
-    the command reports into them. The requested files are written on the
-    way out **even when the experiment raises** — the partial snapshot is
-    marked ``"status": "failed"``, because telemetry matters most exactly
-    when a run crashes.
+    Inside the block the fresh registry, collector, evidence ledger, and
+    phase profiler are process-active, so every simulator, path, crypto
+    substrate, and agent constructed by the command reports into them.
+    The requested files are written on the way out **even when the
+    experiment raises** — the partial snapshot is marked ``"status":
+    "failed"``, because telemetry matters most exactly when a run
+    crashes.
 
     When ``wire_protocol`` is given and the command produced no wire
     packets (a Monte-Carlo experiment), a companion wire run of that
@@ -93,20 +111,41 @@ def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
     """
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace_out", None)
-    if not metrics_out and not trace_out:
+    ledger_out = getattr(args, "ledger_out", None)
+    profile = getattr(args, "profile", False)
+    if profile and not metrics_out:
+        raise SystemExit(
+            "error: --profile exports through the metrics snapshot; "
+            "add --metrics-out FILE"
+        )
+    if not metrics_out and not trace_out and not ledger_out:
         yield None
         return
-    _check_output_dirs(metrics_out, trace_out)
+    _check_output_dirs(metrics_out, trace_out, ledger_out)
+    from contextlib import ExitStack
+
+    from repro.obs.ledger import EvidenceLedger, using_ledger
+    from repro.obs.profile import PhaseProfiler, using_profiler
     from repro.obs.registry import MetricsRegistry, using_registry
     from repro.obs.tracing import RoundTraceCollector, using_collector
 
     registry = MetricsRegistry()
     collector = RoundTraceCollector()
+    ledger = EvidenceLedger() if ledger_out else None
+    session = _ObsSession(registry)
     failed = False
     companion_snapshot = None
     try:
-        with using_registry(registry), using_collector(collector):
-            yield registry
+        with ExitStack() as stack:
+            stack.enter_context(using_registry(registry))
+            stack.enter_context(using_collector(collector))
+            if ledger is not None:
+                stack.enter_context(using_ledger(ledger))
+            if profile:
+                stack.enter_context(
+                    using_profiler(PhaseProfiler(registry))
+                )
+            yield session
             if wire_protocol is not None and len(collector) == 0:
                 from repro.obs.capture import capture_wire_run
 
@@ -124,6 +163,7 @@ def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
             payload["status"] = "failed" if failed else "ok"
             if companion_snapshot is not None:
                 payload["companion_wire_run"] = companion_snapshot
+            payload.update(session.extra)
             with open(metrics_out, "w") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
@@ -133,6 +173,14 @@ def _observability(args, wire_protocol: Optional[str] = None, seed: int = 0):
             written = collector.write_jsonl(trace_out)
             print(f"{written} round spans written to {trace_out}",
                   file=sys.stderr)
+        if ledger_out and ledger is not None:
+            written = ledger.write_jsonl(ledger_out)
+            print(
+                f"{written} ledger entries written to {ledger_out} "
+                "(inspect with: repro-aai explain --ledger "
+                f"{ledger_out})",
+                file=sys.stderr,
+            )
 
 
 def _check_output_dirs(*paths: Optional[str]) -> None:
@@ -155,6 +203,17 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-out", type=str, default=None, dest="trace_out",
         metavar="FILE", help="write per-round tracing spans (JSONL)",
     )
+    parser.add_argument(
+        "--ledger-out", type=str, default=None, dest="ledger_out",
+        metavar="FILE",
+        help="write the evidence ledger (JSONL); reconstruct verdicts "
+             "with 'repro-aai explain'",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="time pipeline phases (setup/wire-replay/scoring/conviction) "
+             "into the metrics snapshot; requires --metrics-out",
+    )
 
 
 def _cmd_table1(args) -> None:
@@ -167,11 +226,24 @@ def _cmd_table2(args) -> None:
 
 
 def _cmd_figure2(args) -> None:
-    with _observability(args, wire_protocol=args.protocol, seed=args.seed):
+    with _observability(
+        args, wire_protocol=args.protocol, seed=args.seed
+    ) as session:
         result = run_figure2(
             args.protocol, runs=args.runs, horizon=args.horizon,
             seed=args.seed, jobs=args.jobs, backend=args.backend,
         )
+        detection = result.detection
+        if session is not None and detection.backend != "model":
+            engines = detection.engines
+            session.extra["wire_backend"] = {
+                "backend": detection.backend,
+                "engines": {
+                    name: engines.count(name)
+                    for name in sorted(set(engines))
+                },
+                "fallback_reasons": sorted(detection.reasons),
+            }
     if getattr(args, "json", False):
         _emit(args, result)
     else:
@@ -340,6 +412,64 @@ def _cmd_obs(args) -> None:
         print(summarize_files(
             metrics_path=args.metrics, trace_path=args.trace, top=args.top
         ))
+
+
+def _cmd_explain(args) -> None:
+    from repro.obs.ledger import read_ledger_jsonl, render_explanation
+
+    try:
+        entries = read_ledger_jsonl(args.ledger)
+    except OSError as exc:
+        print(f"explain: cannot read ledger: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    print(render_explanation(entries, run=args.run))
+
+
+def _cmd_bench(args) -> None:
+    from repro.obs.trend import (
+        DEFAULT_BENCH_FILES,
+        build_baseline,
+        compare_to_baseline,
+        load_baseline,
+    )
+
+    if args.bench_command != "trend":  # pragma: no cover - argparse gate
+        raise SystemExit(2)
+    paths = args.bench or list(DEFAULT_BENCH_FILES)
+    if args.update_baseline:
+        payload = build_baseline(paths, cpu_count=os.cpu_count())
+        with open(args.baseline, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"baseline written to {args.baseline} "
+            f"({len(payload['benchmarks'])} benchmarks)"
+        )
+        return
+    if not os.path.exists(args.baseline):
+        print(
+            f"bench trend: no baseline at {args.baseline} "
+            "(create one with --update-baseline)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    baseline = load_baseline(args.baseline)
+    report = compare_to_baseline(baseline, paths, threshold=args.threshold)
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"delta report written to {args.json_out}", file=sys.stderr)
+    if not report.ok:
+        if args.strict:
+            raise SystemExit(1)
+        if args.check:
+            print(
+                f"bench-trend: {len(report.regressions)} regression(s) "
+                "beyond threshold (warn-only; use --strict to gate)",
+                file=sys.stderr,
+            )
 
 
 def _cmd_audit(args) -> None:
@@ -529,6 +659,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     configure_audit_parser(p)
     p.set_defaults(func=_cmd_audit)
+
+    p = sub.add_parser(
+        "explain",
+        help="reconstruct verdict evidence chains from a --ledger-out file",
+    )
+    p.add_argument("--ledger", type=str, required=True, metavar="FILE",
+                   help="evidence-ledger JSONL written by --ledger-out")
+    p.add_argument("--run", type=int, default=None, metavar="N",
+                   help="render run N's full causal chain (default: list "
+                        "every run's verdict)")
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("bench", help="benchmark telemetry tools")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pt = bench_sub.add_parser(
+        "trend",
+        help="compare BENCH_*.json telemetry against bench-baseline.json",
+    )
+    pt.add_argument("--baseline", type=str, default="bench-baseline.json",
+                    metavar="FILE",
+                    help="committed baseline (default: bench-baseline.json)")
+    pt.add_argument("--bench", action="append", default=None, metavar="FILE",
+                    help="telemetry file to ingest (repeatable; default: "
+                         "the three BENCH_*.json files)")
+    pt.add_argument("--threshold", type=float, default=0.25,
+                    help="relative slowdown that counts as a regression "
+                         "(default 0.25 = 25%%)")
+    pt.add_argument("--check", action="store_true",
+                    help="CI mode: report regressions as warnings, exit 0")
+    pt.add_argument("--strict", action="store_true",
+                    help="exit 1 when any benchmark regressed beyond the "
+                         "threshold")
+    pt.add_argument("--json-out", type=str, default=None, dest="json_out",
+                    metavar="FILE",
+                    help="write the machine-readable delta report (JSON)")
+    pt.add_argument("--update-baseline", action="store_true",
+                    dest="update_baseline",
+                    help="rewrite the baseline from the current BENCH files "
+                         "instead of comparing")
+    pt.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("obs", help="observability artifact tools")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Set
 
 from repro.exceptions import ConfigurationError
+from repro.obs.ledger import get_ledger
 
 
 @dataclass
@@ -114,6 +115,19 @@ def confident_identify(
             cleared.add(link)
         else:
             undecided.add(link)
+    ledger = get_ledger()
+    if ledger.enabled:
+        ledger.record(
+            "bound",
+            rounds=rounds,
+            sigma=float(sigma),
+            half_width=float(half_width),
+            estimates=[float(value) for value in estimates],
+            thresholds=thresholds,
+            convicted=convicted,
+            cleared=cleared,
+            undecided=undecided,
+        )
     return ConfidentVerdict(
         convicted=convicted,
         cleared=cleared,

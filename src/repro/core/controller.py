@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
 from repro.exceptions import ConfigurationError
+from repro.obs.ledger import get_ledger
 
 
 @dataclass
@@ -106,6 +107,16 @@ class AAIController:
             convicted=fresh,
         )
         self.events.append(event)
+        ledger = get_ledger()
+        if ledger.enabled:
+            ledger.record(
+                "controller",
+                time=float(event.time),
+                packets_sent=event.packets_sent,
+                rounds=event.rounds,
+                convicted=event.convicted,
+                confident=self.confident,
+            )
         self.on_conviction(event)
         return event
 

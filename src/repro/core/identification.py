@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence, Set
 
 from repro.exceptions import ConfigurationError
+from repro.obs.ledger import get_ledger
 
 
 @dataclass
@@ -76,6 +77,15 @@ def identify_links(
         for index, (estimate, limit) in enumerate(zip(estimates, thresholds))
         if estimate > limit
     }
+    ledger = get_ledger()
+    if ledger.enabled:
+        ledger.record(
+            "identify",
+            rounds=rounds,
+            estimates=[float(value) for value in estimates],
+            thresholds=thresholds,
+            convicted=convicted,
+        )
     return IdentificationResult(
         convicted=convicted,
         estimates=list(estimates),

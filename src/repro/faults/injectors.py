@@ -35,6 +35,7 @@ from repro.net.node import Node
 from repro.net.packets import AckPacket, Direction, Packet
 from repro.net.path import Path
 from repro.net.rng import RngFactory
+from repro.obs.ledger import get_ledger
 from repro.obs.registry import get_registry
 
 
@@ -155,6 +156,12 @@ class FaultInjector(LinkInterceptor):
         self.injected[kind] = self.injected.get(kind, 0) + 1
         if self._metrics is not None:
             self._metrics.counter("faults.injected", kind=kind, **labels).inc()
+        ledger = get_ledger()
+        if ledger.enabled:
+            now = (
+                self._path.simulator.now if self._path is not None else 0.0
+            )
+            ledger.record("fault", time=float(now), fault=kind, **labels)
 
     # -- node gate (crash windows) ----------------------------------------
 

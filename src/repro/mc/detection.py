@@ -34,6 +34,8 @@ from repro.exceptions import ConfigurationError
 from repro.metrics.confusion import FpFnCurve, curve_from_convictions
 from repro.metrics.convergence import first_exact_round
 from repro.net.backend import BACKEND_NAMES, DetectionRequest, get_backend
+from repro.obs.ledger import get_ledger
+from repro.obs.profile import phase as profile_phase
 from repro.parallel.engine import run_tasks, shard_seed, shard_sizes
 from repro.protocols import models
 from repro.workloads.scenarios import Scenario
@@ -93,6 +95,8 @@ class DetectionResult:
     #: back per request (e.g. fastpath routes fault schedules to the
     #: event engine), so this is the audit trail; empty for "model".
     engines: List[str] = field(default_factory=list)
+    #: Why runs fell back to the event engine (empty when none did).
+    reasons: List[str] = field(default_factory=list)
 
     def convergence_packets(self, sigma: float) -> Optional[int]:
         return self.curve.convergence_packets(sigma)
@@ -218,7 +222,8 @@ class DetectionExperiment:
         reasons: List[str] = []
         if self.shards == 1:
             if self.backend == "model":
-                convictions, estimates = self._run_arrays()
+                with profile_phase("scoring"):
+                    convictions, estimates = self._run_arrays()
             else:
                 convictions, estimates, engines, reasons = self._run_wire(
                     self.runs, run_offset=0
@@ -253,9 +258,25 @@ class DetectionExperiment:
             estimates = np.concatenate([part[1] for part in parts], axis=0)
             engines = [engine for part in parts for engine in part[2]]
             reasons = sorted({reason for part in parts for reason in part[3]})
-        curve = curve_from_convictions(
-            self.checkpoints, convictions, self.scenario.malicious_links
-        )
+        with profile_phase("conviction"):
+            curve = curve_from_convictions(
+                self.checkpoints, convictions, self.scenario.malicious_links
+            )
+        ledger = get_ledger()
+        if ledger.enabled:
+            ledger.record(
+                "experiment",
+                protocol=self.protocol,
+                runs=self.runs,
+                horizon=self.horizon,
+                seed=self.seed,
+                shards=self.shards,
+                backend=self.backend,
+                malicious_links=self.scenario.malicious_links,
+                final_false_positive=float(curve.fp_rates[-1]),
+                final_false_negative=float(curve.fn_rates[-1]),
+                engine_fallbacks=reasons,
+            )
         return DetectionResult(
             protocol=self.protocol,
             checkpoints=self.checkpoints,
@@ -265,6 +286,7 @@ class DetectionExperiment:
             malicious_links=self.scenario.malicious_links,
             backend=self.backend,
             engines=engines,
+            reasons=reasons,
         )
 
     def _run_arrays(self) -> Tuple[np.ndarray, np.ndarray]:

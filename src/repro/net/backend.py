@@ -39,6 +39,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.ledger import get_ledger
+from repro.obs.profile import phase as profile_phase
 from repro.parallel.engine import shard_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -160,6 +162,97 @@ def decision_thresholds(protocol_name: str, params) -> List[float]:
     return calibrated_thresholds(protocol_name, params)
 
 
+class RunLedgerScribe:
+    """Emits one wire run's evidence chain into the active ledger.
+
+    Shared by both wire engines so their ledgers compare byte-identical
+    at the same seed: entries carry only seed-derived quantities (never
+    engine identity or wall-clock), and the emission order is fixed —
+    ``run_start``, then per checkpoint a ``checkpoint`` entry followed by
+    ``accusation``/``exoneration`` diffs against the previous checkpoint,
+    then the final ``verdict`` scored against the scenario ground truth.
+    """
+
+    __slots__ = ("_ledger", "enabled", "run", "_thresholds", "_previous",
+                 "_malicious")
+
+    def __init__(
+        self, request: DetectionRequest, run_index: int, thresholds
+    ) -> None:
+        self._ledger = get_ledger()
+        self.enabled = self._ledger.enabled
+        if not self.enabled:
+            return
+        self.run = request.run_offset + run_index
+        self._thresholds = [float(value) for value in thresholds]
+        self._malicious = sorted(request.scenario.malicious_links)
+        self._previous: List[int] = []
+        self._ledger.record(
+            "run_start",
+            run=self.run,
+            protocol=request.protocol,
+            seed=run_seed(request.seed, self.run),
+            path_length=request.scenario.params.path_length,
+            horizon=request.horizon,
+            thresholds=self._thresholds,
+            malicious_links=self._malicious,
+        )
+
+    def checkpoint(self, checkpoint: int, estimates, convicted_mask) -> None:
+        """Record one checkpoint evaluation plus its conviction diffs."""
+        if not self.enabled:
+            return
+        values = [float(value) for value in estimates]
+        convicted = [
+            index for index, hit in enumerate(convicted_mask) if hit
+        ]
+        self._ledger.record(
+            "checkpoint",
+            run=self.run,
+            checkpoint=checkpoint,
+            estimates=values,
+            convicted=convicted,
+        )
+        for link in convicted:
+            if link not in self._previous:
+                self._ledger.record(
+                    "accusation",
+                    run=self.run,
+                    checkpoint=checkpoint,
+                    link=link,
+                    estimate=values[link],
+                    threshold=self._thresholds[link],
+                    margin=values[link] - self._thresholds[link],
+                )
+        for link in self._previous:
+            if link not in convicted:
+                self._ledger.record(
+                    "exoneration",
+                    run=self.run,
+                    checkpoint=checkpoint,
+                    link=link,
+                    estimate=values[link],
+                    threshold=self._thresholds[link],
+                )
+        self._previous = convicted
+
+    def verdict(self, checkpoint: int) -> None:
+        """Score the final conviction set against ground truth."""
+        if not self.enabled:
+            return
+        convicted = set(self._previous)
+        truth = set(self._malicious)
+        self._ledger.record(
+            "verdict",
+            run=self.run,
+            checkpoint=checkpoint,
+            convicted=convicted,
+            false_positives=convicted - truth,
+            false_negatives=truth - convicted,
+            exact=convicted == truth,
+        )
+
+
 def run_event_detection(
     request: DetectionRequest, run_index: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -172,30 +265,39 @@ def run_event_detection(
     from repro.net.simulator import Simulator
 
     params = request.scenario.params
-    simulator = Simulator(
-        seed=run_seed(request.seed, request.run_offset + run_index)
-    )
-    protocol = request.scenario.build_protocol(
-        request.protocol, simulator, **_protocol_kwargs(request)
-    )
-    if request.faults is not None:
-        from repro.faults import install_faults
+    with profile_phase("setup"):
+        simulator = Simulator(
+            seed=run_seed(request.seed, request.run_offset + run_index)
+        )
+        protocol = request.scenario.build_protocol(
+            request.protocol, simulator, **_protocol_kwargs(request)
+        )
+        if request.faults is not None:
+            from repro.faults import install_faults
 
-        install_faults(protocol.path, request.faults)
-    interval = wire_send_interval(params)
-    start = simulator.now
-    source = protocol.source
-    for index in range(request.checkpoints[-1]):
-        simulator.schedule_at(start + index * interval, source.send_data)
-    thresholds = np.asarray(protocol.decision_thresholds())
+            install_faults(protocol.path, request.faults)
+        interval = wire_send_interval(params)
+        start = simulator.now
+        source = protocol.source
+        for index in range(request.checkpoints[-1]):
+            simulator.schedule_at(start + index * interval, source.send_data)
+        thresholds = np.asarray(protocol.decision_thresholds())
+    scribe = RunLedgerScribe(request, run_index, thresholds)
     convictions = np.zeros(
         (len(request.checkpoints), params.path_length), dtype=bool
     )
     estimates = np.zeros(params.path_length)
     for slot, checkpoint in enumerate(request.checkpoints):
-        simulator.run(until=start + checkpoint * interval - 0.5 * params.r0)
-        estimates = np.asarray(source.estimates())
-        convictions[slot] = estimates > thresholds
+        with profile_phase("wire-replay"):
+            simulator.run(
+                until=start + checkpoint * interval - 0.5 * params.r0
+            )
+        with profile_phase("scoring"):
+            estimates = np.asarray(source.estimates())
+        with profile_phase("conviction"):
+            convictions[slot] = estimates > thresholds
+            scribe.checkpoint(checkpoint, estimates, convictions[slot])
+    scribe.verdict(request.checkpoints[-1])
     return convictions, estimates
 
 

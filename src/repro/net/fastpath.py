@@ -60,12 +60,14 @@ from repro.net.backend import (
     BackendRunResult,
     DetectionRequest,
     EventBackend,
+    RunLedgerScribe,
     SimulationBackend,
     decision_thresholds,
     run_seed,
     wire_send_interval,
 )
 from repro.net.rng import RngFactory
+from repro.obs.profile import phase as profile_phase
 from repro.obs.registry import CounterBatch, metrics_enabled
 
 #: Doubles fetched per vectorized refill of a :class:`DrawStream`.
@@ -566,22 +568,31 @@ class FastpathBackend(SimulationBackend):
         estimates_last = np.zeros((request.runs, params.path_length))
         tally = _MetricTally()
         for run_index in range(request.runs):
-            replay = _RoundReplay(
-                request,
-                run_seed(request.seed, request.run_offset + run_index),
-                family,
-                tally,
-            )
+            with profile_phase("setup"):
+                replay = _RoundReplay(
+                    request,
+                    run_seed(request.seed, request.run_offset + run_index),
+                    family,
+                    tally,
+                )
+            scribe = RunLedgerScribe(request, run_index, thresholds)
             done = 0
             estimates = np.zeros(params.path_length)
             for slot, checkpoint in enumerate(request.checkpoints):
                 # The sequential round loop *is* the vectorization
                 # boundary: draws inside it are batched per stream.
-                for round_index in range(done, checkpoint):  # repro: allow(FP001)
-                    replay.run_round(round_index)
+                with profile_phase("wire-replay"):
+                    for round_index in range(done, checkpoint):  # repro: allow(FP001)
+                        replay.run_round(round_index)
                 done = checkpoint
-                estimates = np.asarray(replay.estimates())
-                convictions[slot, run_index] = estimates > thresholds
+                with profile_phase("scoring"):
+                    estimates = np.asarray(replay.estimates())
+                with profile_phase("conviction"):
+                    convictions[slot, run_index] = estimates > thresholds
+                    scribe.checkpoint(
+                        checkpoint, estimates, convictions[slot, run_index]
+                    )
+            scribe.verdict(request.checkpoints[-1])
             estimates_last[run_index] = estimates
             replay.merge_tally()
             tally.protocol_event("protocol.rounds", replay.obs_rounds)

@@ -1,7 +1,7 @@
 """Unified observability layer.
 
-Three pieces, built to the same rule — zero-cost when off, one JSON file
-when on:
+Several pieces, built to the same rule — zero-cost when off, one JSON
+file when on:
 
 * :mod:`repro.obs.registry` — the process-wide **metrics registry**:
   counters, gauges, and fixed-bucket histograms with labeled series,
@@ -12,6 +12,17 @@ when on:
   public path/link hook API: every link and node event of a data packet's
   probe→ack→report lifecycle, grouped by packet identifier, exported as
   JSONL.
+* :mod:`repro.obs.ledger` — the **evidence ledger**: an append-only
+  record of every identification decision point (accusations,
+  convictions, exonerations, bound evaluations, fault interference),
+  byte-identical across execution engines at the same seed, and the
+  substrate of ``repro-aai explain``.
+* :mod:`repro.obs.profile` — the **phase profiler**: deterministic-safe
+  monotonic phase timers (setup / wire-replay / scoring / conviction)
+  exported through the registry snapshot. Off by default.
+* :mod:`repro.obs.trend` — the **bench-trend observatory** behind
+  ``repro-aai bench trend``: per-benchmark deltas of the BENCH_*.json
+  telemetry against a committed ``bench-baseline.json``.
 * :mod:`repro.obs.summary` / :mod:`repro.obs.capture` — loaders and
   renderers behind the CLI's ``--metrics-out`` / ``--trace-out`` flags
   and the ``repro obs summary`` subcommand.
@@ -19,6 +30,26 @@ when on:
 See ``docs/OBSERVABILITY.md`` for the metric catalog and span schema.
 """
 
+from repro.obs.ledger import (
+    NULL_LEDGER,
+    EvidenceLedger,
+    NullLedger,
+    get_ledger,
+    read_ledger_jsonl,
+    render_explanation,
+    set_ledger,
+    using_ledger,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    PIPELINE_PHASES,
+    NullProfiler,
+    PhaseProfiler,
+    get_profiler,
+    phase,
+    set_profiler,
+    using_profiler,
+)
 from repro.obs.registry import (
     NULL_REGISTRY,
     SIM_LATENCY_BUCKETS,
@@ -61,4 +92,20 @@ __all__ = [
     "set_collector",
     "using_collector",
     "read_jsonl",
+    "EvidenceLedger",
+    "NullLedger",
+    "NULL_LEDGER",
+    "get_ledger",
+    "set_ledger",
+    "using_ledger",
+    "read_ledger_jsonl",
+    "render_explanation",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PIPELINE_PHASES",
+    "get_profiler",
+    "set_profiler",
+    "using_profiler",
+    "phase",
 ]

@@ -41,6 +41,14 @@ def summarize_metrics(snapshot: dict, top: int = 0) -> str:
     """
     blocks: List[str] = []
 
+    # Crashed runs still write a (partial) snapshot; lead with that fact
+    # so nobody reads partial counters as a completed run's numbers.
+    if snapshot.get("status") == "failed":
+        blocks.append(
+            "!! PARTIAL SNAPSHOT: the run failed before completing — "
+            "counters below are a lower bound"
+        )
+
     counters = sorted(
         snapshot["counters"],
         key=lambda entry: (-entry["value"], entry["name"]),
@@ -94,6 +102,33 @@ def summarize_metrics(snapshot: dict, top: int = 0) -> str:
             )
         )
 
+    # Wire-backend routing: which engine actually produced each run, and
+    # why any fastpath runs fell back to the event engine. Rendered as
+    # its own section so fallback runs are never mistaken for fastpath
+    # coverage.
+    wire_backend = snapshot.get("wire_backend")
+    if wire_backend is not None:
+        rows = []
+        backend = wire_backend.get("backend", "?")
+        for engine, count in sorted(
+            wire_backend.get("engines", {}).items()
+        ):
+            label = engine
+            if backend == "fastpath" and engine == "event":
+                label = "event (fallback)"
+            rows.append([label, count])
+        table = render_table(
+            headers=["engine", "runs"],
+            rows=rows or [["(none recorded)", 0]],
+            title=f"\nWire backend (requested: {backend})",
+        )
+        reasons = wire_backend.get("fallback_reasons") or []
+        if reasons:
+            table += "\n" + "\n".join(
+                f"  fallback reason: {reason}" for reason in reasons
+            )
+        blocks.append(table)
+
     # Monte-Carlo snapshots isolate their companion wire run's metrics in
     # a dedicated section (they would otherwise contaminate the
     # experiment's own counters); summarize it under its own banner.
@@ -134,7 +169,25 @@ def summarize_trace(spans: Sequence[dict]) -> str:
         rows=[[name, count] for name, count in outcomes.most_common()],
         title="\nRound outcomes",
     )
-    return "\n".join([overview, outcome_table])
+    blocks = [overview, outcome_table]
+    # Mixed-provenance trace files: spans replayed by the fastpath carry
+    # an "engine" tag; classic event-engine spans don't. Only render the
+    # breakdown when at least one span is tagged, so plain traces keep
+    # their historical output.
+    if any("engine" in span for span in spans):
+        engines = TallyCounter(
+            span.get("engine", "event") for span in spans
+        )
+        blocks.append(
+            render_table(
+                headers=["engine", "spans"],
+                rows=[
+                    [name, count] for name, count in sorted(engines.items())
+                ],
+                title="\nSpan provenance",
+            )
+        )
+    return "\n".join(blocks)
 
 
 def summarize_files(

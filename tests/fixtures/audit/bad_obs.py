@@ -1,0 +1,22 @@
+# repro: module=repro.core.fake_scoring
+"""Fixture: ad-hoc emission in an instrumented scope (OBS001)."""
+
+import sys
+
+
+def identify(estimates, thresholds):
+    convicted = [e > t for e, t in zip(estimates, thresholds)]
+    print("convicted:", convicted)
+    sys.stderr.write("debug: thresholds crossed\n")
+    return convicted
+
+
+def dump_estimates(estimates, path):
+    with open(path, "w") as handle:
+        for value in estimates:
+            handle.write(f"{value}\n")
+
+
+def append_log(path, line):
+    with open(path, mode="a") as handle:
+        handle.write(line)

@@ -1,0 +1,25 @@
+# repro: module=repro.core.fake_scoring_clean
+"""Fixture: emission routed through the structured channels (OBS001-clean)."""
+
+from repro.obs.ledger import get_ledger
+from repro.obs.registry import get_registry
+
+
+def identify(estimates, thresholds):
+    convicted = [e > t for e, t in zip(estimates, thresholds)]
+    registry = get_registry()
+    registry.counter("core.identifications").inc()
+    ledger = get_ledger()
+    if ledger.enabled:
+        ledger.record(
+            "identify",
+            estimates=[float(value) for value in estimates],
+            convicted=[bool(flag) for flag in convicted],
+        )
+    return convicted
+
+
+def load_calibration(path):
+    # Reading is fine — only ad-hoc *writes* leak state.
+    with open(path) as handle:
+        return [float(line) for line in handle]

@@ -1,8 +1,8 @@
 """Property suite: the fastpath replay is byte-identical to the event
-engine — detection outcomes, metrics snapshots, and conviction rounds —
-for every ported protocol, across random seeds, loss placements, and
-adversary configurations; requests it cannot replay exactly provably
-route to the event engine.
+engine — detection outcomes, metrics snapshots, evidence-ledger JSONL,
+and conviction rounds — for every ported protocol, across random seeds,
+loss placements, and adversary configurations; requests it cannot replay
+exactly provably route to the event engine.
 """
 
 import numpy as np
@@ -13,6 +13,7 @@ from repro.core.params import ProtocolParams
 from repro.faults.spec import preset
 from repro.net.backend import DetectionRequest, get_backend
 from repro.net.fastpath import PORTED_FAMILIES, classify_request
+from repro.obs.ledger import EvidenceLedger, using_ledger
 from repro.obs.registry import MetricsRegistry, using_registry
 from repro.protocols.registry import available_protocols, protocol_class
 from repro.workloads.scenarios import Scenario
@@ -49,9 +50,10 @@ def _scoped(registry):
 
 def _run(backend_name, request):
     registry = MetricsRegistry()
-    with using_registry(registry):
+    ledger = EvidenceLedger()
+    with using_registry(registry), using_ledger(ledger):
         result = get_backend(backend_name).run(request)
-    return result, _scoped(registry)
+    return result, _scoped(registry), list(ledger.to_jsonl_lines())
 
 
 def _request(protocol, scenario, seed, horizon):
@@ -94,12 +96,15 @@ class TestEngineEquivalence:
         scenario = Scenario(params=params, malicious_nodes=placement)
         horizon = 40 if protocol in ("full-ack", "sig-ack") else 80
         request = _request(protocol, scenario, seed, horizon)
-        fast, fast_counters = _run("fastpath", request)
-        event, event_counters = _run("event", request)
+        fast, fast_counters, fast_ledger = _run("fastpath", request)
+        event, event_counters, event_ledger = _run("event", request)
         assert fast.engines == ["fastpath"]
         assert np.array_equal(fast.convictions, event.convictions)
         assert np.array_equal(fast.estimates_last, event.estimates_last)
         assert fast_counters == event_counters
+        # The provenance gate: both engines must emit byte-identical
+        # evidence-ledger JSONL (same entries, same order, same floats).
+        assert fast_ledger and fast_ledger == event_ledger
 
     @settings(max_examples=8, deadline=None)
     @given(
@@ -121,8 +126,8 @@ class TestEngineEquivalence:
             fl_sampling=0.25,
             fl_interval=20,
         )
-        fast, _ = _run("fastpath", request)
-        event, _ = _run("event", request)
+        fast, _, _ = _run("fastpath", request)
+        event, _, _ = _run("event", request)
         first_fast = np.argmax(fast.convictions.any(axis=2), axis=0)
         first_event = np.argmax(event.convictions.any(axis=2), axis=0)
         assert np.array_equal(fast.convictions, event.convictions)
@@ -136,7 +141,7 @@ class TestFallbackRouting:
             request = _request(protocol, scenario, seed=3, horizon=20)
             reason = classify_request(request)
             assert reason is not None and "vectorized" in reason
-            result, _ = _run("fastpath", request)
+            result, _, _ = _run("fastpath", request)
             assert result.engines == ["event"]
             assert result.reasons == [reason]
 
@@ -145,7 +150,7 @@ class TestFallbackRouting:
         request = _request("full-ack", scenario, seed=3, horizon=20)
         request.faults = preset("benign-jitter")
         assert "fault schedule" in classify_request(request)
-        result, _ = _run("fastpath", request)
+        result, _, _ = _run("fastpath", request)
         assert result.engines == ["event"]
 
     def test_bidirectional_adversaries_route_to_event(self):
@@ -154,7 +159,7 @@ class TestFallbackRouting:
         )
         request = _request("full-ack", scenario, seed=3, horizon=20)
         assert "reverse path" in classify_request(request)
-        result, _ = _run("fastpath", request)
+        result, _, _ = _run("fastpath", request)
         assert result.engines == ["event"]
 
     def test_adversarial_timing_knobs_route_to_event(self):

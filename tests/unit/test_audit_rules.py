@@ -100,6 +100,19 @@ class TestFastpathFamily:
         assert audit_fixture("ok_fastpath.py") == []
 
 
+class TestObservabilityFamily:
+    def test_violations_caught(self):
+        findings = audit_fixture("bad_obs.py")
+        counts = rule_counts(findings)
+        # print(...), sys.stderr.write(...), open(path, "w"), and
+        # open(path, mode="a").
+        assert counts["OBS001"] == 4
+        assert all(f.severity == "error" for f in findings)
+
+    def test_registry_and_ledger_twin_passes(self):
+        assert audit_fixture("ok_obs.py") == []
+
+
 def test_fixture_files_never_leak_other_rules():
     """Each bad fixture triggers exactly its own family (plus nothing)."""
     expected_families = {
@@ -109,6 +122,7 @@ def test_fixture_files_never_leak_other_rules():
         "bad_iteration.py": {"ITER001", "ITER002"},
         "bad_faults.py": {"FI001"},
         "bad_fastpath.py": {"FP001"},
+        "bad_obs.py": {"OBS001"},
     }
     for name, expected in expected_families.items():
         seen = set(rule_counts(audit_fixture(name)))

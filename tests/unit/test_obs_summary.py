@@ -1,0 +1,109 @@
+"""Edge-case coverage for the artifact summaries (repro.obs.summary)."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.summary import summarize_metrics, summarize_trace
+
+
+def _span(engine=None, outcome="delivered", probed=False):
+    span = {
+        "outcome": outcome,
+        "probed": probed,
+        "events": [{"kind": "send"}],
+        "start": 0.0,
+        "end": 0.5,
+    }
+    if engine is not None:
+        span["engine"] = engine
+    return span
+
+
+class TestMetricsEdgeCases:
+    def test_empty_snapshot(self):
+        empty = {"counters": [], "gauges": [], "histograms": []}
+        assert summarize_metrics(empty) == "(empty metrics snapshot)"
+
+    def test_merged_multi_worker_snapshot(self):
+        """Folding worker snapshots (the parallel engine's path) must
+        summarize as one registry: counters add, gauges take the newest."""
+        parent = MetricsRegistry()
+        for value in (3, 7):
+            worker = MetricsRegistry()
+            worker.counter("sim.events", worker="w").inc(value)
+            worker.gauge("mc.progress").set(value)
+            parent.merge(worker.snapshot())
+        text = summarize_metrics(parent.snapshot())
+        assert "sim.events" in text and "10" in text
+        assert "mc.progress" in text and "7" in text
+
+    def test_failed_status_banner_leads(self):
+        snapshot = {
+            "status": "failed",
+            "counters": [
+                {"name": "sim.events", "labels": {}, "value": 5}
+            ],
+            "gauges": [],
+            "histograms": [],
+        }
+        text = summarize_metrics(snapshot)
+        assert text.startswith("!! PARTIAL SNAPSHOT")
+        assert "lower bound" in text
+
+    def test_wire_backend_section_labels_fallbacks(self):
+        snapshot = {
+            "counters": [], "gauges": [], "histograms": [],
+            "wire_backend": {
+                "backend": "fastpath",
+                "engines": {"fastpath": 8, "event": 2},
+                "fallback_reasons": ["fault schedule requires event engine"],
+            },
+        }
+        text = summarize_metrics(snapshot)
+        assert "Wire backend (requested: fastpath)" in text
+        assert "event (fallback)" in text
+        assert "fallback reason: fault schedule requires event engine" in text
+
+    def test_wire_backend_event_engine_not_mislabelled(self):
+        """An event-backend run's event engine is the requested engine,
+        not a fallback."""
+        snapshot = {
+            "counters": [], "gauges": [], "histograms": [],
+            "wire_backend": {"backend": "event", "engines": {"event": 4}},
+        }
+        text = summarize_metrics(snapshot)
+        assert "event (fallback)" not in text
+
+    def test_companion_section_isolated(self):
+        snapshot = {
+            "counters": [], "gauges": [], "histograms": [],
+            "companion_wire_run": {
+                "counters": [
+                    {"name": "net.node.drops", "labels": {}, "value": 9}
+                ],
+                "gauges": [],
+                "histograms": [],
+            },
+        }
+        text = summarize_metrics(snapshot)
+        assert "Companion wire run" in text
+        assert "net.node.drops" in text
+
+
+class TestTraceEdgeCases:
+    def test_no_spans(self):
+        assert summarize_trace([]) == "(no spans)"
+
+    def test_plain_trace_has_no_provenance_section(self):
+        text = summarize_trace([_span(), _span(outcome="dropped")])
+        assert "Span provenance" not in text
+        assert "Round outcomes" in text
+
+    def test_mixed_engine_spans_render_provenance(self):
+        spans = [
+            _span(engine="fastpath"),
+            _span(engine="fastpath"),
+            _span(),  # untagged: classic event-engine span
+        ]
+        text = summarize_trace(spans)
+        assert "Span provenance" in text
+        assert "fastpath" in text
+        assert "event" in text
