@@ -36,6 +36,12 @@ BENCH_FASTPATH_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_fastpath.json"
 )
 
+#: Topology/mesh telemetry: netexp and mesh-wire wall clock per graph
+#: family, with route/link counts and the fusion verdict quality.
+BENCH_TOPOLOGY_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_topology.json"
+)
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Benchmark a heavy experiment with exactly one timed execution.
@@ -106,7 +112,9 @@ def pytest_sessionfinish(session, exitstatus):
     Benchmarks that declare a ``jobs`` worker count (the parallel-engine
     suite) split out into ``BENCH_parallel.json``; benchmarks that
     declare a ``backend`` (the fastpath equivalence suite) split out
-    into ``BENCH_fastpath.json``; everything else lands in
+    into ``BENCH_fastpath.json``; benchmarks that declare a
+    ``topology`` (the mesh/netexp suite) split out into
+    ``BENCH_topology.json``; everything else lands in
     ``BENCH_observability.json`` as before.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
@@ -115,6 +123,7 @@ def pytest_sessionfinish(session, exitstatus):
     records = []
     parallel_records = []
     fastpath_records = []
+    topology_records = []
     for bench in bench_session.benchmarks:
         stats = getattr(bench, "stats", None)
         extra = getattr(bench, "extra_info", {}) or {}
@@ -143,6 +152,19 @@ def pytest_sessionfinish(session, exitstatus):
             fastpath_records.append(
                 {k: v for k, v in record.items() if v is not None}
             )
+        elif "topology" in extra:
+            record.update(
+                topology=extra["topology"],
+                routes=extra.get("routes"),
+                links=extra.get("links"),
+                protocol=extra.get("protocol"),
+                horizon=extra.get("horizon"),
+                fusion_exact=extra.get("fusion_exact"),
+                events_processed=extra.get("events_processed"),
+            )
+            topology_records.append(
+                {k: v for k, v in record.items() if v is not None}
+            )
         elif seconds is None:
             # Deselected/skipped benchmarks have no measurement: say so
             # explicitly instead of emitting a junk all-null record.
@@ -167,5 +189,11 @@ def pytest_sessionfinish(session, exitstatus):
         fastpath_records.sort(key=lambda record: record["name"])
         payload = {"cpu_count": os.cpu_count(), "records": fastpath_records}
         with open(BENCH_FASTPATH_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if topology_records:
+        topology_records.sort(key=lambda record: record["name"])
+        payload = {"cpu_count": os.cpu_count(), "records": topology_records}
+        with open(BENCH_TOPOLOGY_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

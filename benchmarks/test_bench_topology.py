@@ -1,0 +1,87 @@
+"""Benchmark E-T1: network-scale detection over mesh topologies.
+
+Times the two topology pipelines — the closed-form ``netexp``
+experiment (many routes, fused per-link verdicts) and the wire-level
+mesh (concurrent protocol instances over shared links in one event
+engine) — and records per-record telemetry that the conftest session
+hook splits into ``BENCH_topology.json``: graph family, route/link
+counts, and whether the final fusion matched ground truth exactly.
+"""
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.mc.netexp import NetworkExperiment
+from repro.net.simulator import Simulator
+from repro.obs.registry import MetricsRegistry, using_registry
+from repro.topology.graph import (
+    build_topology,
+    generate_routes,
+    most_shared_links,
+)
+from repro.topology.mesh import MeshNetwork
+
+SEED = 7
+ROUTE_SEED = 11
+
+
+def _compromised(topology_name, size, paths, rate=0.1):
+    topology = build_topology(topology_name, size, seed=SEED)
+    routes = generate_routes(topology, paths, seed=ROUTE_SEED)
+    (shared,) = most_shared_links(routes, count=1)
+    topology.compromise_link(shared, rate)
+    return topology, routes
+
+
+@pytest.mark.parametrize(
+    "topology_name,size,paths",
+    [("fat-tree", 4, 16), ("random-regular", 16, 12)],
+)
+def test_bench_netexp_fused_verdicts(benchmark, topology_name, size, paths):
+    topology, routes = _compromised(topology_name, size, paths)
+    experiment = NetworkExperiment(
+        topology, routes, protocol="paai1", rho=0.01,
+        horizon=4_000, seed=3,
+    )
+    result = benchmark.pedantic(
+        experiment.run, kwargs={"jobs": 1}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["topology"] = topology_name
+    benchmark.extra_info["routes"] = len(routes)
+    benchmark.extra_info["links"] = len(topology.links)
+    benchmark.extra_info["protocol"] = "paai1"
+    benchmark.extra_info["horizon"] = 4_000
+    benchmark.extra_info["seed"] = 3
+    benchmark.extra_info["fusion_exact"] = result.confusion()["exact"]
+    assert result.fusion.convicted == topology.malicious_links
+
+
+def test_bench_mesh_wire_concurrent_instances(benchmark):
+    """Wire-level mesh: 6 concurrent paai1 instances, one event engine."""
+
+    def run():
+        topology, routes = _compromised("fat-tree", 4, 6, rate=0.35)
+        registry = MetricsRegistry()
+        with using_registry(registry):
+            simulator = Simulator(seed=42)
+            mesh = MeshNetwork(simulator, topology, natural_loss=0.01)
+            for route in routes:
+                mesh.instantiate(
+                    "paai1",
+                    route,
+                    ProtocolParams(
+                        path_length=route.length,
+                        natural_loss=0.01,
+                        alpha=0.2,
+                    ),
+                )
+            mesh.run_traffic(count=200, rate=50.0)
+        return registry.counter_total("sim.events")
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["topology"] = "fat-tree"
+    benchmark.extra_info["routes"] = 6
+    benchmark.extra_info["protocol"] = "paai1"
+    benchmark.extra_info["seed"] = 42
+    benchmark.extra_info["events_processed"] = events
+    assert events > 0

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli report [--scale full] [--out report.txt]
     python -m repro.cli ablation {corollary1,corollary2,corollary3,
                                   incrimination,burst,window}
+    python -m repro.cli netexp --topology fat-tree --size 4 --paths 8
     python -m repro.cli obs summary --metrics m.json --trace t.jsonl
     python -m repro.cli explain --ledger ledger.jsonl [--run N]
     python -m repro.cli bench trend [--check|--strict]
@@ -414,15 +415,113 @@ def _cmd_obs(args) -> None:
         ))
 
 
-def _cmd_explain(args) -> None:
-    from repro.obs.ledger import read_ledger_jsonl, render_explanation
+def _cmd_netexp(args) -> None:
+    from repro.mc.netexp import NetworkExperiment
+    from repro.topology import (
+        build_topology,
+        generate_routes,
+        most_shared_links,
+        place_link_adversaries,
+    )
 
+    with _observability(args, seed=args.seed):
+        topology = build_topology(
+            args.topology, args.size, degree=args.degree, seed=args.seed
+        )
+        routes = generate_routes(topology, args.paths, seed=args.seed)
+        if args.adversaries > 0:
+            if args.on_shared:
+                for link_id in most_shared_links(
+                    routes, count=args.adversaries
+                ):
+                    topology.compromise_link(link_id, args.adversary_rate)
+            else:
+                place_link_adversaries(
+                    topology, args.adversaries, args.adversary_rate,
+                    seed=args.seed,
+                )
+        experiment = NetworkExperiment(
+            topology,
+            routes,
+            protocol=args.protocol,
+            rho=args.rho,
+            horizon=args.horizon,
+            seed=args.seed,
+            shards=args.shards,
+        )
+        result = experiment.run(jobs=args.jobs)
+    if getattr(args, "json", False):
+        final = result.fusion
+        payload = {
+            "protocol": result.protocol,
+            "topology": topology.describe(),
+            "routes": len(routes),
+            "checkpoints": result.checkpoints,
+            "malicious_links": topology.malicious_links,
+            "convicted": final.convicted,
+            "exonerated": final.exonerated,
+            "undecided": final.undecided,
+            "confusion": result.confusion(),
+            "first_convicted": {
+                str(k): result.checkpoints[v]
+                for k, v in sorted(result.first_convicted.items())
+            },
+            "best_single": {
+                str(k): result.checkpoints[v]
+                for k, v in sorted(result.best_single.items())
+            },
+        }
+        print(json.dumps(payload, default=_json_default, indent=2))
+    else:
+        print(result.render())
+
+
+def _cmd_explain(args) -> None:
+    from repro.exceptions import ConfigurationError
+    from repro.obs.ledger import (
+        ledger_runs,
+        read_ledger_jsonl,
+        render_explanation,
+    )
+
+    run = args.run
+    if run is not None:
+        try:
+            run = int(run)
+        except ValueError:
+            print(
+                f"explain: --run expects an integer run index, got {run!r}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
     try:
         entries = read_ledger_jsonl(args.ledger)
     except OSError as exc:
         print(f"explain: cannot read ledger: {exc}", file=sys.stderr)
         raise SystemExit(2)
-    print(render_explanation(entries, run=args.run))
+    except ConfigurationError as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if not entries:
+        print(
+            f"explain: ledger {args.ledger} contains no entries",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if run is not None:
+        known = sorted(ledger_runs(entries))
+        if run not in known:
+            span = (
+                f"known runs: {known[0]}..{known[-1]}"
+                if known
+                else "ledger has no per-run entries"
+            )
+            print(
+                f"explain: run {run} not in ledger ({span})",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    print(render_explanation(entries, run=run))
 
 
 def _cmd_bench(args) -> None:
@@ -661,12 +760,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_audit)
 
     p = sub.add_parser(
+        "netexp",
+        help="network-scale detection: fused per-link verdicts over a "
+             "mesh topology (docs/TOPOLOGY.md)",
+    )
+    p.add_argument("--topology",
+                   choices=["line", "tree", "fat-tree", "random-regular"],
+                   default="fat-tree",
+                   help="graph family (see docs/TOPOLOGY.md for the size "
+                        "semantics of each)")
+    p.add_argument("--size", type=int, default=4,
+                   help="family-specific size: line length, tree depth, "
+                        "fat-tree k, or random-regular node count")
+    p.add_argument("--degree", type=int, default=3,
+                   help="node degree (random-regular only)")
+    p.add_argument("--paths", type=int, default=8,
+                   help="number of monitored routes")
+    p.add_argument("--adversaries", type=int, default=1,
+                   help="number of compromised topology links")
+    p.add_argument("--adversary-rate", type=float, default=0.1,
+                   dest="adversary_rate",
+                   help="per-crossing adversarial drop rate beta")
+    p.add_argument("--on-shared", action="store_true", dest="on_shared",
+                   default=True,
+                   help="place adversaries on the most-shared links "
+                        "(default; the fusion showcase)")
+    p.add_argument("--random-placement", action="store_false",
+                   dest="on_shared",
+                   help="place adversaries on seeded random links instead")
+    p.add_argument("--protocol",
+                   choices=["full-ack", "sig-ack", "paai1", "paai2",
+                            "combo1", "combo2"],
+                   default="paai2")
+    p.add_argument("--rho", type=float, default=0.01,
+                   help="per-link natural loss rate")
+    p.add_argument("--horizon", type=int, default=10_000,
+                   help="data packets per route")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=None,
+                   help="route chunks for parallel execution (default: "
+                        "one per 8 routes; output identical for any value)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the route shards "
+                        "(0 = all cores; output is identical for any value)")
+    p.add_argument("--json", action="store_true")
+    _add_obs_flags(p)
+    p.set_defaults(func=_cmd_netexp)
+
+    p = sub.add_parser(
         "explain",
         help="reconstruct verdict evidence chains from a --ledger-out file",
     )
     p.add_argument("--ledger", type=str, required=True, metavar="FILE",
                    help="evidence-ledger JSONL written by --ledger-out")
-    p.add_argument("--run", type=int, default=None, metavar="N",
+    p.add_argument("--run", type=str, default=None, metavar="N",
                    help="render run N's full causal chain (default: list "
                         "every run's verdict)")
     p.set_defaults(func=_cmd_explain)

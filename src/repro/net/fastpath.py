@@ -131,35 +131,47 @@ def stream_seed(root_seed: int, label: str) -> int:
     return RngFactory(root_seed).stream_seed(label)
 
 
-def classify_request(request: DetectionRequest) -> Optional[str]:
-    """Return ``None`` when the replay is exact, else the fallback reason.
+def classify_reasons(request: DetectionRequest) -> List[str]:
+    """Every ineligibility reason for ``request``, deduplicated and
+    sorted — empty when the replay is exact.
 
     Anything that perturbs packet lifecycles beyond the regular
     per-crossing loss/adversary coins — fault schedules, reverse-path
     droppers, retransmission timing, windowed scoring, freshness windows
     tight enough to expire in-flight packets — must run on the event
-    engine.
+    engine. The returned order is canonical (sorted), never the clause
+    evaluation order, so ledger/report bytes cannot flake when a request
+    trips multiple clauses at once.
     """
     from repro.protocols.registry import protocol_class
 
+    reasons: List[str] = []
     family = getattr(protocol_class(request.protocol), "fastpath_family", None)
     if family not in PORTED_FAMILIES:
-        return (
+        reasons.append(
             f"protocol {request.protocol!r} has no vectorized round model"
         )
     if request.faults is not None:
-        return "fault schedule requires event-engine timing"
+        reasons.append("fault schedule requires event-engine timing")
     scenario = request.scenario
     if scenario.bidirectional:
-        return "bidirectional adversary drops on the reverse path"
+        reasons.append("bidirectional adversary drops on the reverse path")
     params = scenario.params
     if params.probe_retries != 0:
-        return "probe retransmission changes per-round draw order"
+        reasons.append("probe retransmission changes per-round draw order")
     if params.score_window is not None:
-        return "windowed scoreboard is not round-order invariant"
+        reasons.append("windowed scoreboard is not round-order invariant")
     if params.freshness_window < 0.5 * params.r0:
-        return "freshness window below in-flight transit bound"
-    return None
+        reasons.append("freshness window below in-flight transit bound")
+    return sorted(set(reasons))
+
+
+def classify_request(request: DetectionRequest) -> Optional[str]:
+    """Return ``None`` when the replay is exact, else the first (in
+    canonical sorted order) fallback reason — see :func:`classify_reasons`
+    for the full list."""
+    reasons = classify_reasons(request)
+    return reasons[0] if reasons else None
 
 
 class _MetricTally:
@@ -196,21 +208,31 @@ class _MetricTally:
         if not metrics_enabled():
             return
         batch = CounterBatch()
+        # The replayed wire run builds exactly one Path on a fresh
+        # Simulator, so the event engine stamps every series with
+        # path id 0; the fast path must emit identical labels for the
+        # engine-equivalence gate to hold byte-for-byte.
         for (name, link, kind, direction), amount in self.links.items():
             batch.inc(
-                name, amount, link=str(link), kind=kind, direction=direction
+                name,
+                amount,
+                link=str(link),
+                path="0",
+                kind=kind,
+                direction=direction,
             )
         for (node, kind, direction, cause), amount in self.nodes.items():
             batch.inc(
                 "net.node.drops",
                 amount,
                 node=str(node),
+                path="0",
                 kind=kind,
                 direction=direction,
                 cause=cause,
             )
         for name, amount in self.protocol.items():
-            batch.inc(name, amount, protocol=protocol_name)
+            batch.inc(name, amount, protocol=protocol_name, path="0")
         batch.flush()
 
 
@@ -551,10 +573,10 @@ class FastpathBackend(SimulationBackend):
     name = "fastpath"
 
     def run(self, request: DetectionRequest) -> BackendRunResult:
-        reason = classify_request(request)
-        if reason is not None:
+        reasons = classify_reasons(request)
+        if reasons:
             fallback = EventBackend().run(request)
-            fallback.reasons = [reason]
+            fallback.reasons = reasons
             return fallback
         from repro.protocols.registry import protocol_class
 

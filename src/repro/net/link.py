@@ -85,12 +85,18 @@ class LinkInterceptor:
 
 
 class _LinkMetrics:
-    """Pre-bound per-link counters, one series per (kind, direction)."""
+    """Pre-bound per-link counters, one series per (kind, direction).
+
+    Series carry the owning path's id so two paths sharing a simulator
+    never merge their counters (the labels are ``link`` — the hop index
+    on the path — plus ``path``, ``kind``, ``direction``).
+    """
 
     __slots__ = ("tx", "loss", "bytes")
 
-    def __init__(self, registry, index: int) -> None:
+    def __init__(self, registry, index: int, path_id: int) -> None:
         link = str(index)
+        path = str(path_id)
         self.tx = {}
         self.loss = {}
         self.bytes = {}
@@ -98,6 +104,7 @@ class _LinkMetrics:
             for direction in Direction:
                 labels = {
                     "link": link,
+                    "path": path,
                     "kind": kind.value,
                     "direction": direction.value,
                 }
@@ -129,6 +136,10 @@ class Link:
         Shared latency model (stateless).
     rng:
         Random stream dedicated to this link.
+    path_id:
+        Identifier of the owning path (-1 when standalone). Known at
+        construction so the link's metric series carry it — counters
+        from two paths sharing a simulator must never merge.
     """
 
     def __init__(
@@ -138,12 +149,12 @@ class Link:
         loss_models: Dict[Direction, LossModel],
         latency_model: LatencyModel,
         rng: random.Random,
+        path_id: int = -1,
     ) -> None:
         if set(loss_models) != {Direction.FORWARD, Direction.REVERSE}:
             raise ConfigurationError("loss_models must cover both directions")
         self.index = index
-        #: Identifier of the owning path (set by Path; -1 when standalone).
-        self.path_id = -1
+        self.path_id = path_id
         self._simulator = simulator
         self._loss = loss_models
         self._latency = latency_model
@@ -161,7 +172,7 @@ class Link:
         self._interceptors: List[LinkInterceptor] = []
         registry = get_registry()
         self._metrics: Optional[_LinkMetrics] = (
-            _LinkMetrics(registry, index) if registry.enabled else None
+            _LinkMetrics(registry, index, path_id) if registry.enabled else None
         )
 
     # -- hooks -------------------------------------------------------------

@@ -108,9 +108,10 @@ class Node:
         self._uplink = None  # link l_{i-1}, toward the source
         self._downlink = None  # link l_i, toward the destination
         self._path = None
-        self._obs_faults = get_registry().counter(
-            "protocol.faults_seen", node=str(position)
-        )
+        # Bound at attach time: the series carries the owning path's id,
+        # so two paths sharing a simulator never merge their fault
+        # counters. Until attached, faults are tallied locally only.
+        self._obs_faults = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -120,6 +121,11 @@ class Node:
         self.clock = clock
         self._uplink = uplink
         self._downlink = downlink
+        self._obs_faults = get_registry().counter(
+            "protocol.faults_seen",
+            node=str(self.position),
+            path=str(path.path_id),
+        )
 
     @property
     def path(self):
@@ -144,7 +150,8 @@ class Node:
         """Account a degraded-mode event (survived fault) on this node."""
         self.faults_seen += 1
         self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
-        self._obs_faults.inc()
+        if self._obs_faults is not None:
+            self._obs_faults.inc()
 
     def deliver(self, packet: Packet, direction: Direction) -> None:
         """Ingress from a link (engine callback).

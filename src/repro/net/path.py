@@ -106,6 +106,7 @@ class Path:
                 },
                 latency_model=latency,
                 rng=simulator.rng.stream(f"link-{i}"),
+                path_id=self.path_id,
             )
             for i in range(length)
         ]
@@ -118,8 +119,6 @@ class Path:
             )
         self._clock_skews = list(clock_skews)
 
-        for link in self.links:
-            link.path_id = self.path_id
         collector = tracing.get_collector()
         if collector is not None:
             collector.attach(self)
@@ -153,6 +152,7 @@ class Path:
             self._metrics.counter(
                 "net.node.drops",
                 node=str(node.position),
+                path=str(self.path_id),
                 kind=packet.kind.value,
                 direction=direction.value,
                 cause=cause,

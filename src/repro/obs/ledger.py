@@ -48,6 +48,10 @@ Entry kinds emitted by the shipped instrumentation:
     A fault injector interfered with traffic (simulated time, fault kind).
 ``experiment``
     A Monte-Carlo experiment's aggregate outcome (:mod:`repro.mc.detection`).
+``fusion``
+    A per-link posterior from shared-link evidence fusion
+    (:mod:`repro.topology.fusion`): pooled margin, contributing routes,
+    rounds, and the CONVICTED/EXONERATED/UNDECIDED verdict.
 
 See ``docs/OBSERVABILITY.md`` for the full schema.
 """
@@ -182,13 +186,26 @@ def using_ledger(ledger: Optional[EvidenceLedger]) -> Iterator[EvidenceLedger]:
 
 
 def read_ledger_jsonl(path: str) -> List[Dict]:
-    """Load a ledger file written by :meth:`EvidenceLedger.write_jsonl`."""
+    """Load a ledger file written by :meth:`EvidenceLedger.write_jsonl`.
+
+    A malformed line (truncated write, concatenated files, stray bytes)
+    raises :class:`ConfigurationError` naming the offending line number
+    instead of leaking a raw ``json.JSONDecodeError`` traceback to the
+    tooling on top.
+    """
     entries = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"ledger {path} line {number} is not valid JSON "
+                    f"(truncated write?): {exc.msg}"
+                ) from None
     return entries
 
 
@@ -278,6 +295,24 @@ def _explain_one_run(entries: List[Dict], run: int) -> str:
                 f"    [seq {seq}] fault interference at t="
                 f"{entry.get('time', 0):g}s: {entry.get('fault', '?')}"
             )
+    fusions = [
+        entry
+        for entry in entries
+        if entry["kind"] == "fusion" and run in entry.get("routes", [])
+    ]
+    if fusions:
+        lines.append("  network fusion (this run's path contributed):")
+        for entry in fusions:
+            lines.append(
+                f"    [seq {entry['seq']}] checkpoint "
+                f"{entry.get('checkpoint', '?')}: link "
+                f"L{entry['link']} pooled margin "
+                f"{entry['pooled_margin']:+.4f} over "
+                f"{len(entry.get('routes', []))} route(s), "
+                f"{entry.get('rounds', '?')} rounds -> "
+                f"{str(entry.get('verdict', '?')).upper()} "
+                f"(posterior bad {_fmt(entry.get('posterior_bad', 0.0))})"
+            )
     if verdict is not None:
         convicted = verdict.get("convicted", [])
         fp = verdict.get("false_positives", [])
@@ -343,6 +378,15 @@ def render_explanation(entries: List[Dict], run: Optional[int] = None) -> str:
         )
         exact = " [exact]" if verdict.get("exact") else ""
         lines.append(f"run {index}: {label}{exact}")
+    fusions = [e for e in entries if e["kind"] == "fusion"]
+    for entry in fusions:
+        routes_str = ", ".join(str(r) for r in entry.get("routes", []))
+        lines.append(
+            f"fusion: L{entry['link']} "
+            f"{str(entry.get('verdict', '?')).upper()} "
+            f"(posterior bad {_fmt(entry.get('posterior_bad', 0.0))}, "
+            f"routes {routes_str or '-'})"
+        )
     experiments = [e for e in entries if e["kind"] == "experiment"]
     for entry in experiments:
         lines.append(

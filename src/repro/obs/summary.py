@@ -170,6 +170,34 @@ def summarize_trace(spans: Sequence[dict]) -> str:
         title="\nRound outcomes",
     )
     blocks = [overview, outcome_table]
+    # Multi-path traces (mesh/topology runs): group spans by the owning
+    # path so concurrent protocol instances stay distinguishable. A
+    # single-path trace keeps its historical output untouched.
+    paths = sorted({span.get("path", 0) for span in spans})
+    if len(paths) > 1:
+        rows = []
+        for path_id in paths:
+            own = [s for s in spans if s.get("path", 0) == path_id]
+            completed = sum(
+                1
+                for s in own
+                if s["outcome"] in ("reported", "acked", "delivered")
+            )
+            rows.append(
+                [
+                    path_id,
+                    len(own),
+                    completed,
+                    f"{completed / len(own):.2%}" if own else "-",
+                ]
+            )
+        blocks.append(
+            render_table(
+                headers=["path", "rounds", "completed", "completion rate"],
+                rows=rows,
+                title="\nPer-path breakdown",
+            )
+        )
     # Mixed-provenance trace files: spans replayed by the fastpath carry
     # an "engine" tag; classic event-engine spans don't. Only render the
     # breakdown when at least one span is tagged, so plain traces keep

@@ -210,7 +210,12 @@ class RoundTraceCollector:
         node: Optional[int] = None,
     ) -> None:
         identifier = packet.identifier.hex()
-        span = self._spans.get(identifier)
+        # Keyed by (path, identifier): concurrent protocol instances
+        # built from the same key material emit identical packet
+        # identifiers, so the identifier alone would merge rounds from
+        # different paths into one span.
+        key = f"{path_id}:{identifier}"
+        span = self._spans.get(key)
         if span is None:
             span = RoundSpan(
                 identifier=identifier,
@@ -219,7 +224,7 @@ class RoundTraceCollector:
                 path_length=self._path_lengths.get(path_id, 0),
                 start=now,
             )
-            self._spans[identifier] = span
+            self._spans[key] = span
             if len(self._spans) > self._capacity:
                 self._spans.popitem(last=False)
                 self.evicted += 1
@@ -244,8 +249,10 @@ class RoundTraceCollector:
         """All retained spans in creation (start-time) order."""
         return list(self._spans.values())
 
-    def span_for(self, identifier: bytes) -> Optional[RoundSpan]:
-        return self._spans.get(identifier.hex())
+    def span_for(
+        self, identifier: bytes, path_id: int = 0
+    ) -> Optional[RoundSpan]:
+        return self._spans.get(f"{path_id}:{identifier.hex()}")
 
     # -- export ------------------------------------------------------------
 

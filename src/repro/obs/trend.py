@@ -1,9 +1,10 @@
 """Bench-trend observatory: turn BENCH_*.json artifacts into a trajectory.
 
-The benchmark suite leaves three machine-readable telemetry files at the
-repo root (``BENCH_observability.json``, ``BENCH_parallel.json``,
-``BENCH_fastpath.json``), but until now they were point-in-time
-artifacts — a slowdown was invisible unless someone diffed JSON by hand.
+The benchmark suite leaves machine-readable telemetry files at the repo
+root (``BENCH_observability.json``, ``BENCH_parallel.json``,
+``BENCH_fastpath.json``, ``BENCH_topology.json``), but until now they
+were point-in-time artifacts — a slowdown was invisible unless someone
+diffed JSON by hand.
 This module compares the current files against a committed baseline
 (``bench-baseline.json``) and reports per-benchmark deltas; the CI
 ``bench-trend`` job runs it warn-only (``--check``), with ``--strict``
@@ -37,6 +38,7 @@ DEFAULT_BENCH_FILES = (
     "BENCH_observability.json",
     "BENCH_parallel.json",
     "BENCH_fastpath.json",
+    "BENCH_topology.json",
 )
 
 #: Committed baseline filename, repo-root relative.
@@ -234,7 +236,11 @@ def compare_to_baseline(
             )
             continue
         before, after = base[name], current[name]
-        relative = (after - before) / before if before else 0.0
+        # Divide through the noise floor, not the raw baseline: a
+        # zero/near-zero baseline (skipped run, sub-resolution timer)
+        # would otherwise explode the percentage into inf/NaN and flag
+        # pure jitter as a thousand-percent regression.
+        relative = (after - before) / max(before, noise_floor)
         status = "ok"
         if max(before, after) >= noise_floor:
             if relative > threshold:

@@ -52,32 +52,38 @@ class SourceAgent(Node):
         self._sequence = 0
         #: per-identifier in-flight state
         self.pending: Dict[bytes, Dict] = {}
-        # Observability instruments, labeled by protocol. With metrics
-        # disabled these are shared no-op singletons and the hot paths are
-        # additionally gated on _obs_enabled.
+        # Observability instruments, labeled by protocol *and* path: two
+        # instances of the same protocol sharing a simulator (a mesh)
+        # must never merge their counters. With metrics disabled these
+        # are shared no-op singletons and the hot paths are additionally
+        # gated on _obs_enabled.
         registry = get_registry()
         self._obs_enabled = registry.enabled
         name = protocol.name
-        self.obs_rounds = registry.counter("protocol.rounds", protocol=name)
+        path = str(protocol.path.path_id)
+        self.obs_rounds = registry.counter(
+            "protocol.rounds", protocol=name, path=path
+        )
         self.obs_probes_sent = registry.counter(
-            "protocol.probes_sent", protocol=name
+            "protocol.probes_sent", protocol=name, path=path
         )
         self.obs_acks_verified = registry.counter(
-            "protocol.acks_verified", protocol=name
+            "protocol.acks_verified", protocol=name, path=path
         )
         self.obs_mac_failures = registry.counter(
-            "protocol.mac_failures", protocol=name
+            "protocol.mac_failures", protocol=name, path=path
         )
         self.obs_sampling_hits = registry.counter(
-            "protocol.sampling_hits", protocol=name
+            "protocol.sampling_hits", protocol=name, path=path
         )
         self.obs_report_timeouts = registry.counter(
-            "protocol.report_timeouts", protocol=name
+            "protocol.report_timeouts", protocol=name, path=path
         )
         self.obs_round_latency = registry.histogram(
             "protocol.round_latency_seconds",
             buckets=SIM_LATENCY_BUCKETS,
             protocol=name,
+            path=path,
         )
 
     # -- traffic -----------------------------------------------------------
@@ -157,6 +163,7 @@ class ForwarderAgent(Node):
             "protocol.node_mac_failures",
             protocol=protocol.name,
             node=str(position),
+            path=str(protocol.path.path_id),
         )
 
     def is_fresh(self, packet: DataPacket) -> bool:
@@ -183,6 +190,7 @@ class DestinationAgent(Node):
             "protocol.node_mac_failures",
             protocol=protocol.name,
             node=str(self.position),
+            path=str(protocol.path.path_id),
         )
 
     def is_fresh(self, packet: DataPacket) -> bool:
@@ -211,6 +219,14 @@ class WireProtocol:
         Seed for the pairwise-key infrastructure.
     clock_skews:
         Optional per-node clock offsets (loose synchronization).
+    path:
+        Optional pre-built path-like object to run over instead of
+        constructing a fresh linear :class:`~repro.net.path.Path` —
+        the seam mesh topologies use to run many protocol instances
+        over routes that physically share links
+        (:class:`repro.topology.mesh.RoutePath`). Mutually exclusive
+        with ``natural_loss`` and ``clock_skews`` (those describe the
+        path this constructor would otherwise build).
     """
 
     #: Registry name; subclasses override.
@@ -232,19 +248,33 @@ class WireProtocol:
         natural_loss=None,
         key_seed: bytes = b"repro-key-seed",
         clock_skews: Optional[Sequence[float]] = None,
+        path=None,
     ) -> None:
         self.simulator = simulator
         self.params = params
         self.keys = KeyManager(params.path_length, seed=key_seed)
-        if natural_loss is None:
-            natural_loss = params.natural_loss
-        self.path = Path(
-            simulator,
-            length=params.path_length,
-            natural_loss=natural_loss,
-            max_latency=params.max_link_latency,
-            clock_skews=clock_skews,
-        )
+        if path is not None:
+            if natural_loss is not None or clock_skews is not None:
+                raise ConfigurationError(
+                    "an injected path already fixes loss models and "
+                    "clocks; natural_loss/clock_skews must be None"
+                )
+            if path.length != params.path_length:
+                raise ConfigurationError(
+                    f"injected path has {path.length} links but params "
+                    f"expect {params.path_length}"
+                )
+            self.path = path
+        else:
+            if natural_loss is None:
+                natural_loss = params.natural_loss
+            self.path = Path(
+                simulator,
+                length=params.path_length,
+                natural_loss=natural_loss,
+                max_latency=params.max_link_latency,
+                clock_skews=clock_skews,
+            )
         self._thresholds: Optional[List[float]] = None
         nodes = self._build_nodes()
         if adversaries:

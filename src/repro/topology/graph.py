@@ -1,0 +1,484 @@
+"""The graph model: topologies, routes, and adversary placement.
+
+A :class:`Topology` is an undirected multigraph-free graph of routers
+joined by bidirectional links. A :class:`Route` is a walk over those
+links — the mesh analogue of the paper's monitored path: protocol
+instance ``i`` runs over route ``i``, and two routes that traverse the
+same physical link share its loss state, its latency draws, and any
+adversary sitting on it.
+
+Everything here is deterministic by construction:
+
+* generators derive every random draw from a seeded
+  :class:`~repro.net.rng.RngFactory` stream, never global randomness;
+* adjacency lists are kept sorted, so BFS route construction is
+  reproducible across processes and Python versions;
+* adversary placement is either explicit (``compromise_link`` /
+  ``compromise_router``) or derived from a seed / from route coverage
+  (:func:`place_link_adversaries` / :func:`most_shared_links`).
+
+Ground truth lives on the topology: a link is *malicious* when its
+combined adversarial rate (its own compromise plus either endpoint
+router's) is positive — mirroring the paper's observation that a
+compromised router's dropping manifests on its adjacent links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.net.rng import RngFactory
+
+#: Generator names accepted by :func:`build_topology` (and the CLI).
+TOPOLOGY_NAMES = ("line", "tree", "fat-tree", "random-regular")
+
+
+@dataclass(frozen=True)
+class TopoLink:
+    """One undirected physical link ``{u, v}`` with a stable id."""
+
+    link_id: int
+    u: int
+    v: int
+
+    def other(self, node: int) -> int:
+        """The endpoint opposite ``node``."""
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ConfigurationError(
+            f"node {node} is not an endpoint of link {self.link_id}"
+        )
+
+
+@dataclass(frozen=True)
+class Route:
+    """A walk over a topology: the mesh analogue of one monitored path.
+
+    ``nodes`` has one more element than ``links``; hop ``h`` crosses
+    physical link ``links[h]`` from ``nodes[h]`` to ``nodes[h + 1]``.
+    """
+
+    route_id: int
+    nodes: Tuple[int, ...]
+    links: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.links) + 1:
+            raise ConfigurationError(
+                f"route {self.route_id}: {len(self.nodes)} nodes cannot "
+                f"walk {len(self.links)} links"
+            )
+
+    @property
+    def length(self) -> int:
+        """Hop count ``d`` — the route's path length."""
+        return len(self.links)
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        return self.nodes[-1]
+
+
+@dataclass
+class Topology:
+    """An undirected router graph with adversary placement.
+
+    Attributes
+    ----------
+    name:
+        Generator tag (``line``, ``fat-tree``, ...) or ``custom``.
+    nodes:
+        Router count; routers are ``0 .. nodes - 1``.
+    links:
+        The physical links, ids dense from 0 in construction order.
+    route_endpoints:
+        Routers eligible as route sources/destinations (fat-trees
+        restrict these to edge switches; everywhere else, all routers).
+    """
+
+    name: str
+    nodes: int
+    links: List[TopoLink] = field(default_factory=list)
+    route_endpoints: Tuple[int, ...] = ()
+    _adjacency: Dict[int, List[Tuple[int, int]]] = field(
+        default_factory=dict, repr=False
+    )
+    _link_adversaries: Dict[int, float] = field(
+        default_factory=dict, repr=False
+    )
+    _router_adversaries: Dict[int, float] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 1:
+            raise ConfigurationError(
+                f"a topology needs at least 2 routers, got {self.nodes}"
+            )
+        if not self.route_endpoints:
+            self.route_endpoints = tuple(range(self.nodes))
+        self._adjacency = {node: [] for node in range(self.nodes)}
+        seen = set()
+        for link in self.links:
+            if not (0 <= link.u < self.nodes and 0 <= link.v < self.nodes):
+                raise ConfigurationError(
+                    f"link {link.link_id} endpoints off the graph"
+                )
+            if link.u == link.v:
+                raise ConfigurationError(
+                    f"link {link.link_id} is a self-loop on {link.u}"
+                )
+            key = (min(link.u, link.v), max(link.u, link.v))
+            if key in seen:
+                raise ConfigurationError(f"duplicate link between {key}")
+            seen.add(key)
+            self._adjacency[link.u].append((link.v, link.link_id))
+            self._adjacency[link.v].append((link.u, link.link_id))
+        # Sorted neighbor order makes BFS (and therefore every route)
+        # deterministic regardless of link construction order.
+        for neighbors in self._adjacency.values():
+            neighbors.sort()
+
+    # -- structure ---------------------------------------------------------
+
+    def link(self, link_id: int) -> TopoLink:
+        if not 0 <= link_id < len(self.links):
+            raise ConfigurationError(f"no link {link_id}")
+        return self.links[link_id]
+
+    def neighbors(self, node: int) -> List[Tuple[int, int]]:
+        """Sorted ``(neighbor, link_id)`` pairs adjacent to ``node``."""
+        return list(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency[node])
+
+    # -- adversaries -------------------------------------------------------
+
+    def compromise_link(self, link_id: int, rate: float) -> None:
+        """Place an adversary on a physical link (drops at ``rate``)."""
+        self.link(link_id)
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"invalid link adversary rate {rate}")
+        self._link_adversaries[link_id] = rate
+
+    def compromise_router(self, node: int, rate: float) -> None:
+        """Compromise a router: its dropping lands on every adjacent
+        link (Theorem 1 — AAI identifies links, not nodes)."""
+        if not 0 <= node < self.nodes:
+            raise ConfigurationError(f"no router {node}")
+        if not 0.0 < rate <= 1.0:
+            raise ConfigurationError(f"invalid router adversary rate {rate}")
+        self._router_adversaries[node] = rate
+
+    def adversarial_rate(self, link_id: int) -> float:
+        """Combined adversarial drop rate on one link: its own
+        compromise composed with both endpoint routers' (independent
+        coins, so survival probabilities multiply)."""
+        link = self.link(link_id)
+        survive = 1.0 - self._link_adversaries.get(link_id, 0.0)
+        survive *= 1.0 - self._router_adversaries.get(link.u, 0.0)
+        survive *= 1.0 - self._router_adversaries.get(link.v, 0.0)
+        return 1.0 - survive
+
+    @property
+    def malicious_links(self) -> List[int]:
+        """Ground truth: link ids with a positive adversarial rate."""
+        return sorted(
+            link.link_id
+            for link in self.links
+            if self.adversarial_rate(link.link_id) > 0.0
+        )
+
+    # -- routes ------------------------------------------------------------
+
+    def shortest_route(
+        self, source: int, destination: int, route_id: int = 0
+    ) -> Optional[Route]:
+        """Deterministic BFS shortest path, or ``None`` when disconnected.
+
+        Ties break toward the lowest-numbered neighbor (adjacency is
+        sorted), so the same ``(source, destination)`` always yields the
+        same walk.
+        """
+        if source == destination:
+            raise ConfigurationError("route endpoints must differ")
+        parents: Dict[int, Tuple[int, int]] = {}
+        frontier = [source]
+        visited = {source}
+        while frontier and destination not in visited:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbor, link_id in self._adjacency[node]:
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        parents[neighbor] = (node, link_id)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        if destination not in visited:
+            return None
+        nodes = [destination]
+        links: List[int] = []
+        while nodes[-1] != source:
+            parent, link_id = parents[nodes[-1]]
+            nodes.append(parent)
+            links.append(link_id)
+        return Route(
+            route_id=route_id,
+            nodes=tuple(reversed(nodes)),
+            links=tuple(reversed(links)),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name}: {self.nodes} routers, {len(self.links)} links, "
+            f"{len(self.malicious_links)} adversarial"
+        )
+
+
+# -- generators -------------------------------------------------------------
+
+
+def line_topology(length: int) -> Topology:
+    """The paper's Figure 1 chain as a degenerate mesh: ``length`` links."""
+    if length <= 0:
+        raise ConfigurationError(f"line length must be positive, got {length}")
+    links = [TopoLink(i, i, i + 1) for i in range(length)]
+    return Topology(name="line", nodes=length + 1, links=links)
+
+
+def tree_topology(depth: int, branching: int = 2) -> Topology:
+    """A complete ``branching``-ary tree of the given ``depth``."""
+    if depth <= 0:
+        raise ConfigurationError(f"tree depth must be positive, got {depth}")
+    if branching < 2:
+        raise ConfigurationError("tree branching must be at least 2")
+    links: List[TopoLink] = []
+    total = 1
+    level = [0]
+    next_id = 1
+    for _ in range(depth):
+        next_level = []
+        for parent in level:
+            for _child in range(branching):
+                links.append(TopoLink(len(links), parent, next_id))
+                next_level.append(next_id)
+                next_id += 1
+                total += 1
+        level = next_level
+    # Leaves are the natural route endpoints, but interior routers are
+    # legal too; keep every router eligible.
+    return Topology(name="tree", nodes=total, links=links)
+
+
+def fat_tree_topology(k: int) -> Topology:
+    """The standard ``k``-ary fat-tree switch fabric (``k`` even).
+
+    ``(k/2)^2`` core switches; ``k`` pods of ``k/2`` aggregation and
+    ``k/2`` edge switches. Every edge switch connects to every
+    aggregation switch in its pod; aggregation switch ``j`` of each pod
+    connects to core switches ``j*(k/2) .. (j+1)*(k/2)-1``. Route
+    endpoints are the edge switches (where hosts would attach).
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError(f"fat-tree arity must be even >= 2, got {k}")
+    half = k // 2
+    cores = half * half
+    # Numbering: cores first, then per pod [aggs..., edges...].
+    def agg(pod: int, j: int) -> int:
+        return cores + pod * k + j
+
+    def edge(pod: int, j: int) -> int:
+        return cores + pod * k + half + j
+
+    links: List[TopoLink] = []
+    for pod in range(k):
+        for j in range(half):
+            for core_slot in range(half):
+                links.append(
+                    TopoLink(len(links), j * half + core_slot, agg(pod, j))
+                )
+            for e in range(half):
+                links.append(TopoLink(len(links), agg(pod, j), edge(pod, e)))
+    endpoints = tuple(edge(pod, j) for pod in range(k) for j in range(half))
+    return Topology(
+        name="fat-tree",
+        nodes=cores + k * k,
+        links=links,
+        route_endpoints=endpoints,
+    )
+
+
+def random_regular_topology(
+    nodes: int, degree: int, seed: int = 0, max_attempts: int = 200
+) -> Topology:
+    """A seeded random ``degree``-regular graph via the pairing model.
+
+    Stub endpoints are shuffled with a dedicated seeded stream and paired
+    off; pairings producing self-loops or duplicate edges are rejected
+    and redrawn (deterministically — the stream continues), up to
+    ``max_attempts`` full restarts.
+    """
+    if nodes <= degree:
+        raise ConfigurationError("need nodes > degree for a simple graph")
+    if (nodes * degree) % 2:
+        raise ConfigurationError("nodes * degree must be even")
+    rng = RngFactory(seed).stream("random-regular")
+    stubs_template = [node for node in range(nodes) for _ in range(degree)]
+    for _attempt in range(max_attempts):
+        stubs = list(stubs_template)
+        rng.shuffle(stubs)
+        seen = set()
+        pairs: List[Tuple[int, int]] = []
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            key = (min(u, v), max(u, v))
+            if u == v or key in seen:
+                ok = False
+                break
+            seen.add(key)
+            pairs.append(key)
+        if ok:
+            pairs.sort()
+            links = [TopoLink(i, u, v) for i, (u, v) in enumerate(pairs)]
+            return Topology(
+                name="random-regular", nodes=nodes, links=links
+            )
+    raise ConfigurationError(
+        f"no simple {degree}-regular graph on {nodes} nodes after "
+        f"{max_attempts} attempts"
+    )
+
+
+def build_topology(
+    name: str, size: int, degree: int = 3, seed: int = 0
+) -> Topology:
+    """CLI-facing factory; ``size`` is the generator's natural knob:
+    line length, tree depth, fat-tree arity ``k``, or random-regular
+    router count."""
+    if name == "line":
+        return line_topology(size)
+    if name == "tree":
+        return tree_topology(size)
+    if name == "fat-tree":
+        return fat_tree_topology(size)
+    if name == "random-regular":
+        return random_regular_topology(size, degree, seed=seed)
+    raise ConfigurationError(
+        f"unknown topology {name!r}; expected one of {TOPOLOGY_NAMES}"
+    )
+
+
+# -- route + adversary selection --------------------------------------------
+
+
+def generate_routes(
+    topology: Topology,
+    count: int,
+    seed: int = 0,
+    min_length: int = 2,
+    max_attempts_per_route: int = 100,
+) -> List[Route]:
+    """Seeded route sample: ``count`` BFS-shortest walks between random
+    eligible endpoint pairs, each at least ``min_length`` hops.
+
+    Route ids are dense from 0 in draw order; the draw order depends
+    only on ``(topology, count, seed)``.
+    """
+    if count <= 0:
+        raise ConfigurationError(f"route count must be positive, got {count}")
+    endpoints = sorted(topology.route_endpoints)
+    if len(endpoints) < 2:
+        raise ConfigurationError("topology has fewer than 2 route endpoints")
+    rng = RngFactory(seed).stream("routes")
+    routes: List[Route] = []
+    for route_id in range(count):
+        route = None
+        for _ in range(max_attempts_per_route):
+            source, destination = rng.sample(endpoints, 2)
+            candidate = topology.shortest_route(
+                source, destination, route_id=route_id
+            )
+            if candidate is not None and candidate.length >= min_length:
+                route = candidate
+                break
+        if route is None:
+            raise ConfigurationError(
+                f"could not draw a route of length >= {min_length} "
+                f"(route {route_id}); is the topology connected?"
+            )
+        routes.append(route)
+    return routes
+
+
+def link_coverage(routes: Iterable[Route]) -> Dict[int, List[int]]:
+    """Physical link id → sorted route ids traversing it."""
+    coverage: Dict[int, List[int]] = {}
+    for route in routes:
+        for link_id in route.links:
+            coverage.setdefault(link_id, [])
+            if route.route_id not in coverage[link_id]:
+                coverage[link_id].append(route.route_id)
+    for route_ids in coverage.values():
+        route_ids.sort()
+    return coverage
+
+
+def most_shared_links(routes: Sequence[Route], count: int = 1) -> List[int]:
+    """The ``count`` links traversed by the most routes (ties break
+    toward the lowest link id) — where a placed adversary damages the
+    most paths at once."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    coverage = link_coverage(routes)
+    ranked = sorted(
+        coverage.items(), key=lambda item: (-len(item[1]), item[0])
+    )
+    return [link_id for link_id, _ in ranked[:count]]
+
+
+def place_link_adversaries(
+    topology: Topology, count: int, rate: float, seed: int = 0
+) -> List[int]:
+    """Compromise ``count`` seeded-random links at ``rate``; returns the
+    chosen link ids (sorted)."""
+    if count <= 0:
+        raise ConfigurationError(f"count must be positive, got {count}")
+    if count > len(topology.links):
+        raise ConfigurationError(
+            f"cannot compromise {count} of {len(topology.links)} links"
+        )
+    rng = RngFactory(seed).stream("adversary-placement")
+    chosen = sorted(
+        rng.sample([link.link_id for link in topology.links], count)
+    )
+    for link_id in chosen:
+        topology.compromise_link(link_id, rate)
+    return chosen
+
+
+__all__ = [
+    "TOPOLOGY_NAMES",
+    "TopoLink",
+    "Route",
+    "Topology",
+    "line_topology",
+    "tree_topology",
+    "fat_tree_topology",
+    "random_regular_topology",
+    "build_topology",
+    "generate_routes",
+    "link_coverage",
+    "most_shared_links",
+    "place_link_adversaries",
+]

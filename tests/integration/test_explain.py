@@ -103,3 +103,53 @@ class TestLedgerOutFlag:
         # The exported file round-trips through explain.
         assert cli.main(["explain", "--ledger", str(ledger_out)]) == 0
         assert "experiment: full-ack" in capsys.readouterr().out
+
+
+class TestExplainErrorPaths:
+    """Bad inputs must exit 2 with a one-line error, never a traceback."""
+
+    def _run(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(argv)
+        err = capsys.readouterr().err
+        assert excinfo.value.code == 2
+        assert err.strip()
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+        return err
+
+    def _valid_ledger(self, tmp_path):
+        ledger, _ = _ledger_for_run("event")
+        path = tmp_path / "ledger.jsonl"
+        ledger.write_jsonl(str(path))
+        return path
+
+    def test_non_integer_run(self, tmp_path, capsys):
+        path = self._valid_ledger(tmp_path)
+        err = self._run(
+            ["explain", "--ledger", str(path), "--run", "abc"], capsys
+        )
+        assert "integer" in err and "abc" in err
+
+    def test_out_of_range_run(self, tmp_path, capsys):
+        path = self._valid_ledger(tmp_path)
+        err = self._run(
+            ["explain", "--ledger", str(path), "--run", "99"], capsys
+        )
+        assert "99" in err and "known runs: 0..1" in err
+
+    def test_empty_ledger_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        err = self._run(["explain", "--ledger", str(path)], capsys)
+        assert "no entries" in err
+
+    def test_truncated_jsonl_line(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            json.dumps({"kind": "run_start", "run": 0, "seq": 0})
+            + "\n"
+            + '{"kind": "verdict", "run": 0, "seq'
+        )
+        err = self._run(["explain", "--ledger", str(path)], capsys)
+        assert "line 2" in err and "truncated" in err

@@ -1,0 +1,210 @@
+"""Integration suite for the network experiment (repro.mc.netexp).
+
+Covers the PR's acceptance scenario — a seeded multi-path mesh where at
+least 8 routes cross one compromised shared link, fusion convicts that
+link strictly earlier than the best single path, with zero false
+per-link convictions — plus the topology determinism sweep: the same
+seed must produce byte-identical ledger JSONL, fusion posteriors, and
+metric snapshots for every ``jobs`` and ``shards`` value.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.exceptions import ConfigurationError
+from repro.mc.netexp import NetworkExperiment
+from repro.obs.ledger import EvidenceLedger, using_ledger
+from repro.obs.registry import MetricsRegistry, using_registry
+from repro.topology.graph import (
+    fat_tree_topology,
+    generate_routes,
+    link_coverage,
+    most_shared_links,
+)
+
+# The acceptance scenario: fat-tree k=4, 16 seeded routes, the single
+# most-shared link compromised at a modest 10% drop rate.
+SEED_TOPOLOGY = 7
+SEED_ROUTES = 11
+SEED_EXPERIMENT = 3
+ADVERSARY_RATE = 0.10
+HORIZON = 4_000
+
+
+def acceptance_experiment(shards=None):
+    topology = fat_tree_topology(4)
+    routes = generate_routes(topology, 16, seed=SEED_ROUTES)
+    (shared,) = most_shared_links(routes, count=1)
+    topology.compromise_link(shared, ADVERSARY_RATE)
+    experiment = NetworkExperiment(
+        topology,
+        routes,
+        protocol="paai1",
+        rho=0.01,
+        horizon=HORIZON,
+        seed=SEED_EXPERIMENT,
+        shards=shards,
+    )
+    return experiment, shared, routes
+
+
+class TestAcceptanceScenario:
+    def test_shared_link_has_at_least_eight_routes(self):
+        _, shared, routes = acceptance_experiment()
+        assert len(link_coverage(routes)[shared]) >= 8
+
+    def test_fusion_convicts_strictly_before_best_single_path(self):
+        experiment, shared, _ = acceptance_experiment()
+        result = experiment.run()
+        pair = result.speedup_checkpoints(shared)
+        assert pair is not None, "both fused and solo must convict"
+        fused_at, solo_at = pair
+        assert fused_at < solo_at
+        # The convergence claim is ~k-fold; demand at least 2x here so
+        # the test survives checkpoint-grid granularity.
+        assert solo_at >= 2 * fused_at
+
+    def test_zero_false_convictions_and_exact_confusion(self):
+        experiment, shared, _ = acceptance_experiment()
+        result = experiment.run()
+        assert result.fusion.convicted == [shared]
+        assert result.confusion() == {
+            "false_positives": [],
+            "false_negatives": [],
+            "exact": True,
+        }
+
+    def test_render_reports_the_speedup(self):
+        experiment, shared, _ = acceptance_experiment()
+        text = experiment.run().render()
+        assert f"L{shared}: fused conviction at" in text
+        assert "fewer per-path rounds" in text
+        assert "— exact" in text
+
+
+def run_fingerprint(jobs=1, shards=None):
+    """(ledger JSONL bytes, metrics JSON, per-link posterior dicts)."""
+    experiment, _, _ = acceptance_experiment(shards=shards)
+    ledger = EvidenceLedger()
+    registry = MetricsRegistry()
+    with using_ledger(ledger), using_registry(registry):
+        result = experiment.run(jobs=jobs)
+    posteriors = [
+        result.fusion.posteriors[link_id].to_dict()
+        for link_id in sorted(result.fusion.posteriors)
+    ]
+    return (
+        "\n".join(ledger.to_jsonl_lines()),
+        registry.to_json(),
+        posteriors,
+    )
+
+
+class TestTopologyDeterminism:
+    """Same seed => byte-identical artifacts, however the work is split."""
+
+    def test_jobs_do_not_change_any_artifact(self):
+        serial = run_fingerprint(jobs=1)
+        parallel = run_fingerprint(jobs=2)
+        assert serial[0] == parallel[0]
+        assert serial[1] == parallel[1]
+        assert serial[2] == parallel[2]
+
+    def test_shard_count_does_not_change_any_artifact(self):
+        one = run_fingerprint(shards=1)
+        four = run_fingerprint(shards=4)
+        sixteen = run_fingerprint(shards=16)
+        assert one == four == sixteen
+
+    def test_reruns_are_byte_identical(self):
+        assert run_fingerprint() == run_fingerprint()
+
+
+class TestLedgerShape:
+    def test_ledger_carries_route_trails_fusion_and_experiment(self):
+        experiment, shared, routes = acceptance_experiment()
+        ledger = EvidenceLedger()
+        with using_ledger(ledger):
+            experiment.run()
+        kinds = {entry["kind"] for entry in ledger.entries()}
+        assert kinds == {"run_start", "verdict", "fusion", "experiment"}
+        assert len(ledger.entries("run_start")) == len(routes)
+        assert len(ledger.entries("verdict")) == len(routes)
+        # One fusion entry per link touched by any route, sorted by id,
+        # recorded at the final checkpoint only.
+        fusion_entries = ledger.entries("fusion")
+        touched = sorted(link_coverage(routes))
+        assert [e["link"] for e in fusion_entries] == touched
+        assert {e["checkpoint"] for e in fusion_entries} == {HORIZON}
+        (experiment_entry,) = ledger.entries("experiment")
+        assert experiment_entry["backend"] == "netexp"
+        assert experiment_entry["convicted_links"] == [shared]
+        assert experiment_entry["fusion_exact"] is True
+
+    def test_explain_walks_fusion_entries(self, tmp_path, capsys):
+        experiment, shared, _ = acceptance_experiment()
+        ledger = EvidenceLedger()
+        with using_ledger(ledger):
+            experiment.run()
+        path = tmp_path / "netexp-ledger.jsonl"
+        ledger.write_jsonl(str(path))
+
+        assert cli.main(["explain", "--ledger", str(path)]) == 0
+        index = capsys.readouterr().out
+        assert f"fusion: L{shared} CONVICTED" in index
+
+        # Pick a route that crosses the shared link; its run view must
+        # show the fusion section with that link's posterior.
+        run_id = next(
+            e["run"]
+            for e in ledger.entries("run_start")
+            if shared in e["topology_links"]
+        )
+        assert cli.main(
+            ["explain", "--ledger", str(path), "--run", str(run_id)]
+        ) == 0
+        chain = capsys.readouterr().out
+        assert "network fusion" in chain
+        assert f"L{shared}" in chain
+
+
+class TestValidation:
+    def test_unmodelled_protocol_rejected(self):
+        topology = fat_tree_topology(4)
+        routes = generate_routes(topology, 4, seed=1)
+        with pytest.raises(ConfigurationError):
+            NetworkExperiment(topology, routes, protocol="statfl")
+
+    def test_needs_routes(self):
+        with pytest.raises(ConfigurationError):
+            NetworkExperiment(fat_tree_topology(4), [])
+
+    def test_rho_validated(self):
+        topology = fat_tree_topology(4)
+        routes = generate_routes(topology, 4, seed=1)
+        with pytest.raises(ConfigurationError):
+            NetworkExperiment(topology, routes, rho=1.0)
+
+
+class TestNetexpCli:
+    def test_cli_json_payload(self, tmp_path, capsys):
+        ledger_path = tmp_path / "ledger.jsonl"
+        assert cli.main([
+            "netexp",
+            "--topology", "fat-tree", "--size", "4",
+            "--paths", "8", "--adversaries", "1",
+            "--adversary-rate", "0.1",
+            "--protocol", "paai1",
+            "--horizon", "2000",
+            "--seed", "5",
+            "--json",
+            "--ledger-out", str(ledger_path),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "paai1"
+        assert payload["routes"] == 8
+        assert payload["malicious_links"] == payload["convicted"]
+        assert payload["confusion"]["exact"] is True
+        assert ledger_path.exists()

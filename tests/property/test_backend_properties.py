@@ -12,7 +12,11 @@ from hypothesis import strategies as st
 from repro.core.params import ProtocolParams
 from repro.faults.spec import preset
 from repro.net.backend import DetectionRequest, get_backend
-from repro.net.fastpath import PORTED_FAMILIES, classify_request
+from repro.net.fastpath import (
+    PORTED_FAMILIES,
+    classify_reasons,
+    classify_request,
+)
 from repro.obs.ledger import EvidenceLedger, using_ledger
 from repro.obs.registry import MetricsRegistry, using_registry
 from repro.protocols.registry import available_protocols, protocol_class
@@ -192,3 +196,76 @@ class TestFallbackRouting:
             assert classify_request(
                 _request(protocol, scenario, seed=3, horizon=20)
             ) is None
+
+class TestClassifyReasonsProperties:
+    """classify_reasons must return EVERY tripped clause, deduplicated,
+    in canonical sorted order — independent of clause evaluation order —
+    and classify_request must be its first element."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        unported=st.booleans(),
+        faulted=st.booleans(),
+        bidirectional=st.booleans(),
+        retries=st.booleans(),
+        windowed=st.booleans(),
+        tight_freshness=st.booleans(),
+    )
+    def test_all_tripped_clauses_reported_sorted(
+        self, unported, faulted, bidirectional, retries, windowed,
+        tight_freshness,
+    ):
+        params = ProtocolParams(
+            probe_retries=2 if retries else 0,
+            score_window=50 if windowed else None,
+            freshness_window=(
+                0.1 * ProtocolParams().r0 if tight_freshness
+                else ProtocolParams().freshness_window
+            ),
+        )
+        scenario = Scenario(
+            params=params,
+            malicious_nodes={4: 0.02},
+            bidirectional=bidirectional,
+        )
+        request = _request(
+            UNPORTED[0] if unported else PORTED[0],
+            scenario, seed=3, horizon=20,
+        )
+        if faulted:
+            request.faults = preset("benign-jitter")
+        reasons = classify_reasons(request)
+
+        # Sorted and deduplicated.
+        assert reasons == sorted(set(reasons))
+        # Exactly the tripped clauses, no more, no less.
+        expectations = {
+            "vectorized": unported,
+            "fault schedule": faulted,
+            "reverse path": bidirectional,
+            "retransmission": retries,
+            "windowed": windowed,
+            "freshness": tight_freshness,
+        }
+        for marker, tripped in expectations.items():
+            matches = [r for r in reasons if marker in r]
+            assert len(matches) == (1 if tripped else 0), marker
+        assert len(reasons) == sum(expectations.values())
+        # classify_request is the canonical head of the same list.
+        assert classify_request(request) == (
+            reasons[0] if reasons else None
+        )
+
+    def test_multi_clause_request_is_order_stable(self):
+        """A request tripping several clauses yields the same list no
+        matter how it was built (regression for evaluation-order leaks)."""
+        params = ProtocolParams(probe_retries=2, score_window=50)
+        scenario = Scenario(
+            params=params, malicious_nodes={4: 0.02}, bidirectional=True
+        )
+        request = _request(UNPORTED[0], scenario, seed=3, horizon=20)
+        request.faults = preset("benign-jitter")
+        reasons = classify_reasons(request)
+        assert len(reasons) == 5
+        assert reasons == sorted(reasons)
+        assert classify_reasons(request) == reasons

@@ -1,6 +1,7 @@
 """Unit coverage for the bench-trend observatory (repro.obs.trend)."""
 
 import json
+import math
 
 import pytest
 
@@ -149,3 +150,79 @@ class TestComparison:
         assert "no regressions beyond threshold" in report.render()
         empty = self._report(tmp_path, baseline={}, current={})
         assert "(no benchmarks to compare)" in empty.render()
+
+
+class TestNearZeroBaseline:
+    """A zero/near-zero baseline must not explode the percent delta."""
+
+    def _report(self, tmp_path, baseline, current, **kwargs):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(
+            [{"name": n, "seconds": s} for n, s in current.items()]
+        ))
+        return compare_to_baseline(
+            {"benchmarks": baseline}, [path], **kwargs
+        )
+
+    def test_zero_baseline_yields_finite_delta(self, tmp_path):
+        report = self._report(
+            tmp_path, baseline={"b": 0.0}, current={"b": 0.2}
+        )
+        (delta,) = report.deltas
+        # Divided through the 50 ms floor, not the zero baseline:
+        # (0.2 - 0) / 0.05 = 4.0, finite and well-defined.
+        assert delta.relative_delta == pytest.approx(4.0)
+        assert math.isfinite(delta.relative_delta)
+
+    def test_near_zero_baseline_not_flagged_for_jitter(self, tmp_path):
+        # 0.1 ms -> 40 ms is a 400x blowup by raw ratio but both sides
+        # sit at/under the floor; the floor-normalized delta stays under
+        # any sane threshold.
+        report = self._report(
+            tmp_path, baseline={"b": 0.0001}, current={"b": 0.04}
+        )
+        (delta,) = report.deltas
+        assert delta.status == "ok"
+        assert delta.relative_delta == pytest.approx(0.798, abs=1e-3)
+        assert report.ok
+
+    def test_real_regression_from_tiny_baseline_still_flags(self, tmp_path):
+        # Baseline under the floor but the current run is genuinely
+        # slow: still reported, with a sane percentage.
+        report = self._report(
+            tmp_path, baseline={"b": 0.001}, current={"b": 1.0}
+        )
+        (delta,) = report.deltas
+        assert delta.status == "slower"
+        assert delta.relative_delta == pytest.approx((1.0 - 0.001) / 0.05)
+
+    def test_render_survives_zero_baseline(self, tmp_path):
+        report = self._report(
+            tmp_path, baseline={"b": 0.0}, current={"b": 0.2}
+        )
+        text = report.render()
+        assert "inf" not in text and "nan" not in text.lower()
+
+
+class TestBaselineCanonicalization:
+    def test_update_baseline_writes_sorted_keys(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro import cli
+
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps([
+            {"name": "zeta", "seconds": 1.0},
+            {"name": "alpha", "seconds": 2.0},
+            {"name": "mid", "seconds": 3.0},
+        ]))
+        baseline = tmp_path / "baseline.json"
+        assert cli.main([
+            "bench", "trend", "--bench", str(bench),
+            "--baseline", str(baseline), "--update-baseline",
+        ]) == 0
+        raw = baseline.read_text()
+        parsed = json.loads(raw)
+        assert list(parsed["benchmarks"]) == ["alpha", "mid", "zeta"]
+        # Byte-canonical: re-serializing with sorted keys reproduces the
+        # file exactly, so baseline diffs stay reviewable.
+        assert raw == json.dumps(parsed, indent=2, sort_keys=True) + "\n"

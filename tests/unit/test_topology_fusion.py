@@ -1,0 +1,241 @@
+"""Unit tests for shared-link evidence fusion (repro.topology.fusion)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.ledger import EvidenceLedger, using_ledger
+from repro.topology.fusion import (
+    CONVICTED,
+    EXONERATED,
+    UNDECIDED,
+    FusionResult,
+    LinkPosterior,
+    RouteEvidence,
+    fuse_route_evidence,
+)
+
+
+def _evidence(route_id, links, margins, rounds, threshold=0.05):
+    """Evidence where estimate - threshold == the given margin per hop."""
+    return RouteEvidence(
+        route_id=route_id,
+        links=tuple(links),
+        estimates=tuple(threshold + m for m in margins),
+        thresholds=tuple(threshold for _ in margins),
+        rounds=rounds,
+    )
+
+
+class TestRouteEvidence:
+    def test_rejects_misaligned_hops(self):
+        with pytest.raises(ConfigurationError):
+            RouteEvidence(
+                route_id=0,
+                links=(0, 1),
+                estimates=(0.1,),
+                thresholds=(0.05, 0.05),
+                rounds=10,
+            )
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ConfigurationError):
+            RouteEvidence(
+                route_id=0,
+                links=(0,),
+                estimates=(0.1,),
+                thresholds=(0.05,),
+                rounds=-1,
+            )
+
+
+class TestFusionMath:
+    def test_pooled_margin_is_rounds_weighted(self):
+        result = fuse_route_evidence(
+            [
+                _evidence(0, [7], [0.1], rounds=100),
+                _evidence(1, [7], [0.4], rounds=300),
+            ],
+            sigma=0.03,
+            record=False,
+        )
+        posterior = result.posteriors[7]
+        assert posterior.rounds == 400
+        # (100*0.1 + 300*0.4) / 400
+        assert posterior.pooled_margin == pytest.approx(0.325)
+        assert posterior.routes == [0, 1]
+
+    def test_confidence_matches_hoeffding_bound(self):
+        result = fuse_route_evidence(
+            [_evidence(0, [3], [0.2], rounds=50)], sigma=0.03, record=False
+        )
+        posterior = result.posteriors[3]
+        expected = 1.0 - math.exp(-2.0 * 50 * 0.2**2)
+        assert posterior.posterior_bad == pytest.approx(expected)
+        assert posterior.posterior_good == 0.0
+
+    def test_verdict_partition(self):
+        result = fuse_route_evidence(
+            [
+                # Strong positive margin, lots of rounds -> convicted.
+                _evidence(0, [0, 1, 2], [0.3, -0.3, 0.01], rounds=500),
+            ],
+            sigma=0.03,
+            record=False,
+        )
+        assert result.convicted == [0]
+        assert result.exonerated == [1]
+        assert result.undecided == [2]
+        assert result.posteriors[0].verdict == CONVICTED
+        assert result.posteriors[1].verdict == EXONERATED
+        assert result.posteriors[2].verdict == UNDECIDED
+
+    def test_clean_paths_exonerate_a_link_one_noisy_path_accuses(self):
+        """The mesh payoff: pooling flips a single noisy accusation."""
+        noisy = _evidence(0, [5], [0.08], rounds=300)
+        solo = fuse_route_evidence([noisy], sigma=0.03, record=False)
+        assert solo.posteriors[5].verdict == CONVICTED
+        clean = [
+            _evidence(r, [5], [-0.05], rounds=300) for r in range(1, 8)
+        ]
+        fused = fuse_route_evidence(
+            [noisy, *clean], sigma=0.03, record=False
+        )
+        assert fused.posteriors[5].pooled_margin < 0
+        assert fused.posteriors[5].verdict == EXONERATED
+
+    def test_shared_link_converges_faster_per_route(self):
+        """k routes sharing a link reach conviction with ~k-fold fewer
+        rounds per route than a single path needs alone."""
+        margin, sigma = 0.05, 0.03
+
+        def convicts(evidence):
+            return fuse_route_evidence(
+                evidence, sigma=sigma, record=False
+            ).posteriors[0].verdict == CONVICTED
+
+        solo_rounds = next(
+            n for n in range(1, 5000)
+            if convicts([_evidence(0, [0], [margin], rounds=n)])
+        )
+        shared_rounds = next(
+            n for n in range(1, 5000)
+            if convicts(
+                [_evidence(r, [0], [margin], rounds=n) for r in range(8)]
+            )
+        )
+        assert shared_rounds * 8 <= solo_rounds + 8
+
+    def test_zero_rounds_is_undecided(self):
+        result = fuse_route_evidence(
+            [_evidence(0, [1], [0.5], rounds=0)], sigma=0.03, record=False
+        )
+        posterior = result.posteriors[1]
+        assert posterior.verdict == UNDECIDED
+        assert posterior.pooled_margin == 0.0
+        assert posterior.posterior_bad == 0.0
+
+    def test_sigma_validated(self):
+        with pytest.raises(ConfigurationError):
+            fuse_route_evidence([], sigma=0.0, record=False)
+        with pytest.raises(ConfigurationError):
+            fuse_route_evidence([], sigma=1.0, record=False)
+
+
+class TestScoring:
+    def _result(self):
+        return fuse_route_evidence(
+            [_evidence(0, [0, 1], [0.3, -0.3], rounds=500)],
+            sigma=0.03,
+            record=False,
+        )
+
+    def test_exact_score(self):
+        score = self._result().score([0])
+        assert score == {
+            "false_positives": [],
+            "false_negatives": [],
+            "exact": True,
+        }
+
+    def test_false_positive_and_negative(self):
+        score = self._result().score([1])
+        assert score["false_positives"] == [0]
+        assert score["false_negatives"] == [1]
+        assert score["exact"] is False
+
+
+class TestLedgerRecording:
+    def test_fusion_entries_sorted_by_link(self):
+        ledger = EvidenceLedger()
+        with using_ledger(ledger):
+            fuse_route_evidence(
+                [_evidence(0, [9, 2, 5], [0.3, 0.3, 0.3], rounds=500)],
+                sigma=0.03,
+                checkpoint=500,
+            )
+        entries = ledger.entries("fusion")
+        assert [e["link"] for e in entries] == [2, 5, 9]
+        for entry in entries:
+            assert entry["checkpoint"] == 500
+            assert entry["sigma"] == 0.03
+            assert entry["verdict"] == CONVICTED
+            assert entry["routes"] == [0]
+
+    def test_record_false_keeps_ledger_silent(self):
+        ledger = EvidenceLedger()
+        with using_ledger(ledger):
+            fuse_route_evidence(
+                [_evidence(0, [1], [0.3], rounds=500)],
+                sigma=0.03,
+                record=False,
+            )
+        assert len(ledger) == 0
+
+    def test_jsonl_lines_are_byte_deterministic(self):
+        def lines():
+            ledger = EvidenceLedger()
+            with using_ledger(ledger):
+                fuse_route_evidence(
+                    [
+                        _evidence(1, [4, 0], [0.2, -0.1], rounds=300),
+                        _evidence(0, [0, 4], [0.1, 0.2], rounds=200),
+                    ],
+                    sigma=0.03,
+                    checkpoint=300,
+                )
+            return list(ledger.to_jsonl_lines())
+
+        assert lines() == lines()
+
+
+class TestResultContainers:
+    def test_posterior_to_dict_roundtrips_fields(self):
+        posterior = LinkPosterior(
+            link_id=4,
+            routes=[0, 2],
+            rounds=700,
+            pooled_margin=0.12,
+            posterior_bad=0.99,
+            posterior_good=0.0,
+            verdict=CONVICTED,
+        )
+        assert posterior.to_dict() == {
+            "link": 4,
+            "routes": [0, 2],
+            "rounds": 700,
+            "pooled_margin": 0.12,
+            "posterior_bad": 0.99,
+            "posterior_good": 0.0,
+            "verdict": CONVICTED,
+        }
+
+    def test_empty_fusion_result(self):
+        result = FusionResult(sigma=0.03, posteriors={})
+        assert result.convicted == []
+        assert result.score([]) == {
+            "false_positives": [],
+            "false_negatives": [],
+            "exact": True,
+        }

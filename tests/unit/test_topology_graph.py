@@ -1,0 +1,150 @@
+"""Unit tests for the topology graph layer: generators, routes,
+adversary placement, and the determinism guarantees they advertise."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.topology.graph import (
+    Route,
+    TopoLink,
+    Topology,
+    build_topology,
+    fat_tree_topology,
+    generate_routes,
+    line_topology,
+    link_coverage,
+    most_shared_links,
+    place_link_adversaries,
+    random_regular_topology,
+    tree_topology,
+)
+
+
+class TestTopologyBasics:
+    def test_line_topology_is_a_chain(self):
+        topo = line_topology(4)
+        assert topo.nodes == 5
+        assert len(topo.links) == 4
+        for link in topo.links:
+            assert link.v == link.u + 1
+        assert topo.degree(0) == 1
+        assert topo.degree(2) == 2
+
+    def test_tree_topology_counts(self):
+        topo = tree_topology(depth=2, branching=2)
+        # 1 + 2 + 4 nodes, N-1 links for a tree.
+        assert topo.nodes == 7
+        assert len(topo.links) == 6
+
+    def test_fat_tree_k4_counts(self):
+        topo = fat_tree_topology(4)
+        # (k/2)^2 cores + k pods x k switches = 4 + 16.
+        assert topo.nodes == 20
+        # core-agg: 4 pods x 2 aggs x 2 cores... = k^3/4 + pods*agg*edge
+        assert len(topo.links) == 32
+        # Route endpoints are the edge switches only.
+        assert len(topo.route_endpoints) == 8
+
+    def test_fat_tree_rejects_odd_k(self):
+        with pytest.raises(ConfigurationError):
+            fat_tree_topology(3)
+
+    def test_random_regular_has_uniform_degree(self):
+        topo = random_regular_topology(10, degree=3, seed=5)
+        for node in range(topo.nodes):
+            assert topo.degree(node) == 3
+
+    def test_random_regular_is_seed_deterministic(self):
+        a = random_regular_topology(12, degree=3, seed=9)
+        b = random_regular_topology(12, degree=3, seed=9)
+        assert [(l.u, l.v) for l in a.links] == [(l.u, l.v) for l in b.links]
+        c = random_regular_topology(12, degree=3, seed=10)
+        assert [(l.u, l.v) for l in a.links] != [(l.u, l.v) for l in c.links]
+
+    def test_build_topology_dispatches_names(self):
+        for name in ("line", "tree", "fat-tree", "random-regular"):
+            size = 4 if name != "tree" else 2
+            topo = build_topology(name, size, seed=1)
+            assert topo.name == name
+        with pytest.raises(ConfigurationError):
+            build_topology("torus", 4)
+
+    def test_rejects_self_loops_and_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            Topology("bad", nodes=3, links=(TopoLink(0, 1, 1),))
+        with pytest.raises(ConfigurationError):
+            Topology(
+                "bad",
+                nodes=3,
+                links=(TopoLink(0, 0, 1), TopoLink(1, 0, 1)),
+            )
+
+
+class TestRoutes:
+    def test_route_validates_walk_shape(self):
+        with pytest.raises(ConfigurationError):
+            Route(route_id=0, nodes=(0, 1, 2), links=(0,))
+
+    def test_shortest_route_is_deterministic_bfs(self):
+        topo = fat_tree_topology(4)
+        a = topo.shortest_route(topo.route_endpoints[0],
+                                topo.route_endpoints[-1], route_id=0)
+        b = topo.shortest_route(topo.route_endpoints[0],
+                                topo.route_endpoints[-1], route_id=0)
+        assert a == b
+        assert a.length == len(a.links)
+        # Consecutive nodes really are joined by the named links.
+        for hop, link_id in enumerate(a.links):
+            link = topo.link(link_id)
+            assert {a.nodes[hop], a.nodes[hop + 1]} == {link.u, link.v}
+
+    def test_generate_routes_same_seed_same_routes(self):
+        topo = fat_tree_topology(4)
+        r1 = generate_routes(topo, 8, seed=3)
+        r2 = generate_routes(topo, 8, seed=3)
+        assert [r.nodes for r in r1] == [r.nodes for r in r2]
+        r3 = generate_routes(topo, 8, seed=4)
+        assert [r.nodes for r in r1] != [r.nodes for r in r3]
+
+    def test_link_coverage_and_most_shared(self):
+        topo = line_topology(3)
+        routes = [
+            topo.shortest_route(0, 3, route_id=0),
+            topo.shortest_route(1, 3, route_id=1),
+        ]
+        coverage = link_coverage(routes)
+        # Middle/last links carried by both routes, first by one.
+        assert coverage[0] == [0]
+        assert coverage[1] == [0, 1]
+        assert coverage[2] == [0, 1]
+        # Tie on coverage breaks by link id.
+        assert most_shared_links(routes, count=2) == [1, 2]
+
+
+class TestAdversaries:
+    def test_compromise_link_and_router_compose(self):
+        topo = line_topology(3)
+        topo.compromise_link(1, 0.2)
+        topo.compromise_router(1, 0.5)
+        # Link 1 = (1, 2): 1 - (1-0.2)(1-0.5).
+        assert topo.adversarial_rate(1) == pytest.approx(0.6)
+        # Link 0 = (0, 1) picks up router 1's compromise.
+        assert topo.adversarial_rate(0) == pytest.approx(0.5)
+        assert topo.adversarial_rate(2) == 0.0
+        assert topo.malicious_links == [0, 1]
+
+    def test_compromise_validates_rate(self):
+        topo = line_topology(2)
+        with pytest.raises(ConfigurationError):
+            topo.compromise_link(0, 0.0)
+        with pytest.raises(ConfigurationError):
+            topo.compromise_link(0, 1.5)
+
+    def test_place_link_adversaries_deterministic(self):
+        topo = fat_tree_topology(4)
+        a = place_link_adversaries(topo, 3, 0.1, seed=2)
+        b = place_link_adversaries(topo, 3, 0.1, seed=2)
+        assert a == b == sorted(a)
+        assert len(a) == 3
+        for link_id in a:
+            assert topo.adversarial_rate(link_id) == pytest.approx(0.1)
