@@ -42,6 +42,12 @@ BENCH_TOPOLOGY_PATH = Path(__file__).resolve().parent.parent / (
     "BENCH_topology.json"
 )
 
+#: Auditor telemetry: cold vs warm-cache vs parallel full-repo audit
+#: wall clock, with file/finding counts and cache hit rates.
+BENCH_AUDIT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_audit.json"
+)
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Benchmark a heavy experiment with exactly one timed execution.
@@ -114,7 +120,9 @@ def pytest_sessionfinish(session, exitstatus):
     declare a ``backend`` (the fastpath equivalence suite) split out
     into ``BENCH_fastpath.json``; benchmarks that declare a
     ``topology`` (the mesh/netexp suite) split out into
-    ``BENCH_topology.json``; everything else lands in
+    ``BENCH_topology.json``; benchmarks that declare an ``audit_mode``
+    (the auditor cold/warm/parallel suite) split out into
+    ``BENCH_audit.json``; everything else lands in
     ``BENCH_observability.json`` as before.
     """
     bench_session = getattr(session.config, "_benchmarksession", None)
@@ -124,6 +132,7 @@ def pytest_sessionfinish(session, exitstatus):
     parallel_records = []
     fastpath_records = []
     topology_records = []
+    audit_records = []
     for bench in bench_session.benchmarks:
         stats = getattr(bench, "stats", None)
         extra = getattr(bench, "extra_info", {}) or {}
@@ -150,6 +159,19 @@ def pytest_sessionfinish(session, exitstatus):
                 profiler_off_ratio=extra.get("profiler_off_ratio"),
             )
             fastpath_records.append(
+                {k: v for k, v in record.items() if v is not None}
+            )
+        elif "audit_mode" in extra:
+            record.update(
+                mode=extra["audit_mode"],
+                files=extra.get("files"),
+                findings=extra.get("findings"),
+                jobs=extra.get("audit_jobs"),
+                cache_hits=extra.get("cache_hits"),
+                cold_seconds=extra.get("cold_seconds"),
+                warm_speedup=extra.get("warm_speedup"),
+            )
+            audit_records.append(
                 {k: v for k, v in record.items() if v is not None}
             )
         elif "topology" in extra:
@@ -195,5 +217,11 @@ def pytest_sessionfinish(session, exitstatus):
         topology_records.sort(key=lambda record: record["name"])
         payload = {"cpu_count": os.cpu_count(), "records": topology_records}
         with open(BENCH_TOPOLOGY_PATH, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if audit_records:
+        audit_records.sort(key=lambda record: record["name"])
+        payload = {"cpu_count": os.cpu_count(), "records": audit_records}
+        with open(BENCH_AUDIT_PATH, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")

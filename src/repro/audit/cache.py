@@ -1,0 +1,158 @@
+"""Incremental analysis cache: skip files whose content has not changed.
+
+The per-file stage is a pure function of (file content, rule set,
+analyzer version) — :class:`repro.audit.engine.FileAnalysis` says so and
+its serializability proves it. This cache exploits that purity: each
+entry stores a file's content hash next to its serialized analysis, so a
+warm run re-reads and re-hashes every file (cheap) but re-parses and
+re-checks none of the unchanged ones (the expensive part). The
+whole-program stage is *never* cached — project rules recompute each run
+over the assembled facts, because a one-line edit in module A can create
+a cross-module finding anchored in untouched module B.
+
+Invalidation is by construction, not by mtime: the cache key is the
+content digest plus a signature over the sorted rule ids, the analyzer
+version, and the Python version. Change any of those and every entry
+misses; ``--select``/``--ignore`` runs therefore never poison the
+full-catalogue cache. Saving keeps only entries touched this run, so the
+file tracks the audited tree instead of growing monotonically.
+"""
+
+from __future__ import annotations
+
+import hashlib  # repro: allow(CB001) -- content addressing, not crypto
+import json
+import os
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.audit.engine import FileAnalysis, Rule
+
+#: Bumped whenever analysis output changes for identical input — new
+#: rules, changed fact extraction, changed finding fields.
+ANALYZER_VERSION = 2
+
+_CACHE_FORMAT = "repro-audit-cache"
+
+
+def rules_signature(rules: Sequence[Rule]) -> str:
+    """Digest over everything besides file content that shapes results."""
+    material = json.dumps(
+        {
+            "rules": sorted(rule.id for rule in rules),
+            "analyzer": ANALYZER_VERSION,
+            "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        },
+        sort_keys=True,
+    )
+    # repro: allow(CB001) -- cache-key hashing, not crypto
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def content_digest(data: bytes) -> str:
+    # repro: allow(CB001) -- cache-key hashing, not crypto
+    return hashlib.sha256(data).hexdigest()
+
+
+class AuditCache:
+    """Content-addressed store of per-file analyses.
+
+    The engine drives it through exactly two calls per file:
+    :meth:`lookup` (hit → the deserialized analysis, parse skipped) and
+    :meth:`store` (miss → remember the fresh analysis). :meth:`save`
+    persists only entries touched this run.
+    """
+
+    def __init__(self, signature: str) -> None:
+        self.signature = signature
+        self._entries: Dict[str, dict] = {}
+        #: Display paths read or written this run — what :meth:`save` keeps.
+        self._touched: Dict[str, bool] = {}
+        #: Content digests computed during lookup, reused by store.
+        self._digests: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: str, rules: Sequence[Rule]) -> "AuditCache":
+        """Cache from ``path``; a missing/stale/corrupt file is empty.
+
+        A signature mismatch discards every entry rather than erroring:
+        the cache is an accelerator, never a source of truth.
+        """
+        cache = cls(rules_signature(rules))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _CACHE_FORMAT
+            or payload.get("signature") != cache.signature
+        ):
+            return cache
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            cache._entries = entries
+        return cache
+
+    def save(self, path: str) -> int:
+        """Write touched entries to ``path``; returns how many were kept."""
+        kept = {
+            display: entry
+            for display, entry in sorted(self._entries.items())
+            if self._touched.get(display)
+        }
+        payload = {
+            "format": _CACHE_FORMAT,
+            "version": 1,
+            "signature": self.signature,
+            "entries": kept,
+        }
+        tmp = f"{path}.tmp"
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return len(kept)
+
+    def lookup(self, filename: str, display: str) -> Optional[FileAnalysis]:
+        """The cached analysis for ``filename``, if its content matches."""
+        try:
+            with open(filename, "rb") as handle:
+                digest = content_digest(handle.read())
+        except OSError:
+            return None
+        self._digests[display] = digest
+        entry = self._entries.get(display)
+        if entry is None or entry.get("sha256") != digest:
+            self.misses += 1
+            return None
+        try:
+            analysis = FileAnalysis.from_dict(entry["analysis"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched[display] = True
+        return analysis
+
+    def store(self, filename: str, analysis: FileAnalysis) -> None:
+        """Remember a freshly computed analysis for ``filename``."""
+        display = analysis.path
+        digest = self._digests.get(display)
+        if digest is None:
+            try:
+                with open(filename, "rb") as handle:
+                    digest = content_digest(handle.read())
+            except OSError:
+                return
+        self._entries[display] = {
+            "sha256": digest,
+            "analysis": analysis.to_dict(),
+        }
+        self._touched[display] = True

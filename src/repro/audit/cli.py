@@ -18,8 +18,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.audit.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
-from repro.audit.catalog import all_rules, render_rule_listing
+from repro.audit.cache import AuditCache
+from repro.audit.catalog import render_rule_listing, select_rules
 from repro.audit.engine import Finding, apply_baseline, audit_paths
+from repro.audit.sarif import write_sarif
 
 
 def configure_audit_parser(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +51,41 @@ def configure_audit_parser(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="IDS",
+        help="run only these rule ids (repeatable, comma-separable); "
+             "unknown ids are a usage error (exit 2)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="IDS",
+        help="skip these rule ids (repeatable, comma-separable); "
+             "unknown ids are a usage error (exit 2)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze files over N worker processes "
+             "(repro.parallel; byte-identical to serial)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="incremental analysis cache: unchanged files (by content "
+             "hash) skip parsing and per-file rules",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write findings as SARIF 2.1.0 (GitHub code scanning)",
+    )
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    return [
+        part.strip()
+        for value in values
+        for part in value.split(",")
+        if part.strip()
+    ]
 
 
 def _render_text(findings: Sequence[Finding], new_errors: int) -> str:
@@ -100,14 +137,32 @@ def run_audit(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_rule_listing())
         return 0
-    rules = all_rules()
-    findings = audit_paths(args.paths, rules=rules)
+    select = _split_ids(getattr(args, "select", None))
+    ignore = _split_ids(getattr(args, "ignore", None))
+    try:
+        rules = select_rules(select, ignore)
+    except KeyError as exc:
+        print(f"audit: {exc.args[0]}", file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache:
+        cache = AuditCache.load(args.cache, rules)
+    findings = audit_paths(
+        args.paths,
+        rules=rules if (select or ignore) else None,
+        jobs=max(1, args.jobs),
+        cache=cache,
+    )
+    if cache is not None:
+        cache.save(args.cache)
     if args.write_baseline:
         count = write_baseline(args.baseline, findings)
         print(f"baseline with {count} entr{'y' if count == 1 else 'ies'} "
               f"written to {args.baseline}")
         return 0
     findings = apply_baseline(findings, load_baseline(args.baseline))
+    if args.sarif:
+        write_sarif(args.sarif, findings)
     new_errors = sum(
         1 for f in findings if f.severity == "error" and not f.baselined
     )

@@ -8,6 +8,16 @@ hands it to every registered :class:`Rule`. Rules walk the AST and emit
 unknown rule ids inside suppressions as findings themselves (``AUD001``),
 so a typo cannot silently disable a rule.
 
+Since the whole-program pass, per-file analysis is two-stage: each file
+yields a :class:`FileAnalysis` (its per-file findings plus the
+serializable call-graph facts of :mod:`repro.audit.graph`), and the
+:class:`ProjectRule` subclasses then check properties of the *assembled*
+project — call chains that cross files, which no single
+:class:`ModuleContext` can see. ``FileAnalysis`` objects are plain data,
+which is what lets the incremental cache (:mod:`repro.audit.cache`)
+skip parsing entirely for unchanged files and ``--jobs N`` fan file
+analysis out over :func:`repro.parallel.run_tasks`.
+
 Scoping: most rules only make sense for specific packages (wall-clock is
 banned in simulator code but ``time.monotonic`` is fine in telemetry).
 The context derives the dotted module name from the file path (anything
@@ -101,6 +111,26 @@ class Rule:
             severity=self.severity,
             line_text=ctx.line(line),
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule sees the assembled :class:`repro.audit.graph.ProjectIndex`
+    rather than one file, so it can follow call chains across module
+    boundaries (the interprocedural ``DET``/``ST`` semantics of
+    :mod:`repro.audit.rules_interproc`). Findings it emits still anchor to
+    a concrete file/line and respect that line's ``# repro: allow(...)``
+    suppressions — the engine filters them through the per-file
+    suppression tables carried in the facts.
+    """
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        # Project rules have no per-file component.
+        return iter(())
+
+    def check_project(self, index) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 class ModuleContext:
@@ -333,67 +363,285 @@ def _display_path(path: str, root: Optional[str]) -> str:
     return path.replace(os.sep, "/")
 
 
+def split_rules(
+    rules: Sequence[Rule],
+) -> "tuple[List[Rule], List[ProjectRule]]":
+    """Separate per-file rules from whole-program rules."""
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    return file_rules, project_rules
+
+
+@dataclass
+class FileAnalysis:
+    """One file's per-file findings plus its whole-program facts.
+
+    Everything here is derived purely from the file's content and the
+    rule set, which is what makes it cacheable by content hash
+    (:mod:`repro.audit.cache`) and transportable across worker processes
+    (``audit --jobs N``).
+    """
+
+    path: str
+    module: str
+    findings: List[Finding]
+    facts: object  #: :class:`repro.audit.graph.ModuleFacts`
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "severity": f.severity,
+                    "line_text": f.line_text,
+                }
+                for f in self.findings
+            ],
+            "facts": self.facts.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FileAnalysis":
+        from repro.audit.graph import ModuleFacts
+
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            findings=[Finding(**entry) for entry in payload["findings"]],
+            facts=ModuleFacts.from_dict(payload["facts"]),
+        )
+
+
+def analyze_source(
+    source: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> FileAnalysis:
+    """Run the per-file stage over one source blob.
+
+    Findings and facts carry ``display_path`` (checkout-relative, stable
+    across machines) when given; ``path`` is only used for parsing
+    diagnostics. Only per-file rules run here — project rules need the
+    assembled index (:func:`run_project_rules`).
+    """
+    from repro.audit.graph import ModuleFacts, extract_facts
+
+    if rules is None:
+        from repro.audit.catalog import all_rules
+
+        rules = all_rules()
+    file_rules, _ = split_rules(rules)
+    display = display_path or path
+    known = known_ids_for(rules)
+    try:
+        ctx = ModuleContext(path, source, module=module)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR,
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        facts = ModuleFacts(path=display, module=module or module_name_for(path))
+        return FileAnalysis(
+            path=display, module=facts.module, findings=[finding], facts=facts
+        )
+    suppressions, findings = parse_suppressions(ctx, known)
+    for rule in file_rules:
+        for finding in rule.check(ctx):
+            if not suppressions.allows(finding.line, finding.rule):
+                findings.append(finding)
+    findings = [replace(finding, path=display) for finding in findings]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    facts = extract_facts(ctx, allowed=suppressions.by_line)
+    facts.path = display
+    return FileAnalysis(
+        path=display, module=ctx.module, findings=findings, facts=facts
+    )
+
+
+def known_ids_for(rules: Sequence[Rule]) -> Set[str]:
+    """Rule ids suppressions may legitimately name under ``rules``.
+
+    Uses the full catalogue whenever the caller did not narrow the rule
+    set explicitly via ids — an ``--select DET001`` run must not report
+    AUD001 for a perfectly valid ``# repro: allow(RNG002)`` elsewhere.
+    """
+    try:
+        from repro.audit.catalog import known_rule_ids
+
+        return known_rule_ids() | {rule.id for rule in rules}
+    except ImportError:  # pragma: no cover - catalogue always importable
+        return {rule.id for rule in rules} | {UNKNOWN_SUPPRESSION, PARSE_ERROR}
+
+
+def run_project_rules(
+    analyses: Sequence[FileAnalysis],
+    project_rules: Sequence[ProjectRule],
+) -> List[Finding]:
+    """Whole-program stage: assemble the index, run every project rule.
+
+    Findings are filtered through the per-file suppression tables the
+    analyses carry, so ``# repro: allow(...)`` works identically for
+    per-file and project findings.
+    """
+    if not project_rules:
+        return []
+    from repro.audit.graph import ProjectIndex
+
+    index = ProjectIndex([analysis.facts for analysis in analyses])
+    by_path = {analysis.facts.path: analysis.facts for analysis in analyses}
+    findings: List[Finding] = []
+    for rule in project_rules:
+        for finding in rule.check_project(index):
+            facts = by_path.get(finding.path)
+            if facts is not None and facts.allows(finding.line, [finding.rule]):
+                continue
+            findings.append(finding)
+    return findings
+
+
 def audit_source(
     source: str,
     path: str = "<memory>",
     module: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Audit one in-memory source blob (the test-suite entry point)."""
+    """Audit one in-memory source blob (the test-suite entry point).
+
+    Project rules run over the blob as a one-module project, so
+    single-file fixtures exercise them too (their cross-file power only
+    shows under :func:`audit_paths`).
+    """
     if rules is None:
         from repro.audit.catalog import all_rules
 
         rules = all_rules()
-    known = {rule.id for rule in rules} | {UNKNOWN_SUPPRESSION, PARSE_ERROR}
-    try:
-        ctx = ModuleContext(path, source, module=module)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule=PARSE_ERROR,
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    suppressions, findings = parse_suppressions(ctx, known)
-    for rule in rules:
-        for finding in rule.check(ctx):
-            if not suppressions.allows(finding.line, finding.rule):
-                findings.append(finding)
+    analysis = analyze_source(source, path=path, module=module, rules=rules)
+    _, project_rules = split_rules(rules)
+    findings = list(analysis.findings)
+    findings.extend(run_project_rules([analysis], project_rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def _analyze_file_task(
+    payload: "tuple[str, str, Optional[str], Optional[tuple]]",
+) -> dict:
+    """Worker task for ``audit --jobs N``: analyze one file, return data.
+
+    Module-level and payload-pure (the :mod:`repro.parallel` contract):
+    the result depends only on the file path, its content, and the rule
+    ids, so parallel analysis is byte-identical to serial. Rules travel
+    as ids (reconstructed from the worker's catalogue), not objects.
+    """
+    filename, display, module, rule_ids = payload
+    rules: Optional[List[Rule]] = None
+    if rule_ids is not None:
+        from repro.audit.catalog import all_rules
+
+        wanted = set(rule_ids)
+        rules = [rule for rule in all_rules() if rule.id in wanted]
+    analysis = _analyze_file(filename, display, module, rules=rules)
+    return analysis.to_dict()
+
+
+def _analyze_file(
+    filename: str,
+    display: str,
+    module: Optional[str],
+    rules: Optional[Sequence[Rule]],
+) -> FileAnalysis:
+    from repro.audit.graph import ModuleFacts
+
+    try:
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        finding = Finding(
+            rule=PARSE_ERROR,
+            path=display,
+            line=1,
+            col=1,
+            message=f"file cannot be read: {exc}",
+        )
+        facts = ModuleFacts(path=display, module=module or display)
+        return FileAnalysis(
+            path=display, module=facts.module, findings=[finding], facts=facts
+        )
+    return analyze_source(
+        source, path=filename, module=module, rules=rules, display_path=display
+    )
 
 
 def audit_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[str] = None,
+    jobs: int = 1,
+    cache: Optional[object] = None,
 ) -> List[Finding]:
-    """Audit every ``.py`` file under ``paths``; findings in stable order."""
+    """Audit every ``.py`` file under ``paths``; findings in stable order.
+
+    ``jobs > 1`` fans the per-file stage out over a process pool
+    (:func:`repro.parallel.run_tasks`); the project stage always runs in
+    the parent over the assembled facts. ``cache`` is an
+    :class:`repro.audit.cache.AuditCache`: files whose content hash (and
+    rule signature) match a cached entry skip parsing and per-file rules
+    entirely — the warm path behind ``BENCH_audit.json``.
+    """
     if root is None:
         root = os.getcwd()
-    findings: List[Finding] = []
+    narrowed = rules is not None
+    if rules is None:
+        from repro.audit.catalog import all_rules
+
+        rules = all_rules()
+    rule_ids = tuple(sorted(rule.id for rule in rules)) if narrowed else None
+    _, project_rules = split_rules(rules)
+    targets: List["tuple[str, str, Optional[str]]"] = []
+    analyses: List[Optional[FileAnalysis]] = []
+    pending: List[int] = []
     for filename in collect_files(paths):
-        try:
-            with open(filename, encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            findings.append(
-                Finding(
-                    rule=PARSE_ERROR,
-                    path=_display_path(filename, root),
-                    line=1,
-                    col=1,
-                    message=f"file cannot be read: {exc}",
-                )
-            )
-            continue
         display = _display_path(filename, root)
-        module = module_name_for(filename)
-        for finding in audit_source(source, path=filename, module=module, rules=rules):
-            findings.append(replace(finding, path=display))
+        cached = cache.lookup(filename, display) if cache is not None else None
+        if cached is not None:
+            analyses.append(cached)
+            continue
+        targets.append((filename, display, module_name_for(filename)))
+        analyses.append(None)
+        pending.append(len(analyses) - 1)
+    if len(targets) > 1 and jobs > 1:
+        from repro.parallel import run_tasks
+
+        payloads = [(*target, rule_ids) for target in targets]
+        fresh = [
+            FileAnalysis.from_dict(result)
+            for result in run_tasks(_analyze_file_task, payloads, jobs=jobs)
+        ]
+    else:
+        fresh = [
+            _analyze_file(filename, display, module, rules)
+            for filename, display, module in targets
+        ]
+    for target, slot, analysis in zip(targets, pending, fresh):
+        analyses[slot] = analysis
+        if cache is not None:
+            cache.store(target[0], analysis)
+    done: List[FileAnalysis] = [a for a in analyses if a is not None]
+    findings: List[Finding] = []
+    for analysis in done:
+        findings.extend(analysis.findings)
+    findings.extend(run_project_rules(done, project_rules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 

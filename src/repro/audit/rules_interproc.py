@@ -1,0 +1,180 @@
+"""Interprocedural DET/ST rules: transitive sink reach from sim scope.
+
+The per-file ``DET``/``ST`` rules ban *direct* use of wall clocks,
+ambient entropy, and global RNG state. What they cannot see is a
+sim-scope function laundering the same nondeterminism through a helper
+chain — ``repro.mc`` calling a utility that calls another utility that
+calls ``time.time()`` looks clean file-by-file, yet injects the host's
+wall clock straight into a simulated experiment, which is exactly the
+nondeterminism the identification guarantees (PAPER.md §7: the Hoeffding
+bounds assume bit-reproducible trials) cannot tolerate.
+
+These rules walk the project call graph (:mod:`repro.audit.graph`)
+from every function in simulator scope and flag any chain of length ≥ 2
+ending at a banned sink. Chains of length 1 (the function itself calls
+the sink) are excluded by construction — those are the per-file rules'
+findings, and double-reporting would teach people to suppress twice.
+
+Sanctioned boundaries keep the pass precise rather than merely loud:
+
+* a *monotonic* timer inside telemetry scope is not a sink — host-time
+  instrumentation (``repro.parallel`` retry deadlines, ``repro.obs``
+  profilers) is measured overhead, not simulation state, mirroring the
+  per-file DET003 semantics;
+* a sink use whose line carries a ``# repro: allow(DET...)``/``ST``
+  suppression in its *own* file is sanctioned for callers too (e.g. the
+  injectable ``os.urandom`` default in ``repro.crypto.cipher``);
+* wall clocks and entropy are never sanctioned by location — reaching
+  them from sim scope is flagged no matter which module hosts the call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.audit.engine import Finding, ProjectRule
+from repro.audit.graph import (
+    CallSite,
+    FunctionNode,
+    ProjectIndex,
+    find_sink_chains,
+)
+from repro.audit.rules_determinism import (
+    ENTROPY_SOURCES,
+    GLOBAL_RANDOM_FUNCTIONS,
+    MONOTONIC_CLOCK,
+    NUMPY_RANDOM_SAFE,
+    SIM_SCOPE,
+    TELEMETRY_SCOPE,
+    WALL_CLOCK,
+)
+
+#: Per-file rule ids whose inline suppression also sanctions the sink for
+#: transitive callers — an excused line is excused, not a back door.
+_SANCTIONING_IDS = ("DET001", "DET003", "DET004", "ST001")
+
+
+def _in_scope(module: str, prefixes) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+def _sanctioned(call: CallSite, holder: FunctionNode, index: ProjectIndex) -> bool:
+    facts = index.facts_for(holder.module)
+    return facts is not None and facts.allows(call.lineno, _SANCTIONING_IDS)
+
+
+def _chain_text(chain: List[str], sink: str) -> str:
+    return " -> ".join([*chain, f"{sink}()"])
+
+
+class _InterprocRule(ProjectRule):
+    """Shared walk: one subclass per sink family."""
+
+    def sink_name(
+        self, call: CallSite, holder: FunctionNode, index: ProjectIndex
+    ) -> Optional[str]:
+        raise NotImplementedError
+
+    def message(self, chain: List[str], call: CallSite, holder: FunctionNode) -> str:
+        raise NotImplementedError
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        for start in index.iter_functions():
+            if not _in_scope(start.module, SIM_SCOPE):
+                continue
+
+            def is_sink(call: CallSite, holder: FunctionNode) -> Optional[str]:
+                if _sanctioned(call, holder, index):
+                    return None
+                return self.sink_name(call, holder, index)
+
+            for chain, sink_call, holder, first_hop in find_sink_chains(
+                index, start, is_sink
+            ):
+                yield Finding(
+                    rule=self.id,
+                    path=index.facts_for(start.module).path,
+                    line=first_hop.lineno,
+                    col=first_hop.col,
+                    message=self.message(chain, sink_call, holder),
+                    severity=self.severity,
+                    line_text=first_hop.line_text,
+                )
+
+
+class TransitiveClockRule(_InterprocRule):
+    """ST002 — sim scope reaches a host clock through a call chain."""
+
+    id = "ST002"
+    family = "interproc"
+    severity = "error"
+    summary = "sim-scope code transitively reaches a host clock"
+    rationale = (
+        "A helper chain ending at `time.time()` (anywhere) or a "
+        "monotonic timer (outside telemetry scope) feeds the host clock "
+        "into simulated behavior exactly as a direct read would — the "
+        "per-file ST001/DET003 rules only see one file at a time, so "
+        "the call graph is walked project-wide. Read `SimClock`/"
+        "`NodeClock` instead, or confine host timing to telemetry scope."
+    )
+
+    def sink_name(
+        self, call: CallSite, holder: FunctionNode, index: ProjectIndex
+    ) -> Optional[str]:
+        target = call.target
+        if target in WALL_CLOCK:
+            return target
+        if target in MONOTONIC_CLOCK and not _in_scope(
+            holder.module, TELEMETRY_SCOPE
+        ):
+            return target
+        return None
+
+    def message(self, chain: List[str], call: CallSite, holder: FunctionNode) -> str:
+        return (
+            f"sim-scope call chain reaches host clock `{call.target}` "
+            f"({holder.module}:{call.lineno}): {_chain_text(chain, call.target)}"
+        )
+
+
+class TransitiveEntropyRule(_InterprocRule):
+    """DET005 — sim scope reaches global RNG / ambient entropy transitively."""
+
+    id = "DET005"
+    family = "interproc"
+    severity = "error"
+    summary = "sim-scope code transitively reaches global RNG or entropy"
+    rationale = (
+        "Global `random.*`/`numpy.random.*` state and ambient entropy "
+        "(`os.urandom`, `uuid.uuid4`, `secrets`) break seed-determinism "
+        "no matter how many helpers deep they hide; a sim-scope function "
+        "whose call chain ends there draws values no `RngFactory` stream "
+        "controls. Thread an injected stream down the chain instead."
+    )
+
+    def sink_name(
+        self, call: CallSite, holder: FunctionNode, index: ProjectIndex
+    ) -> Optional[str]:
+        target = call.target
+        if target in GLOBAL_RANDOM_FUNCTIONS or target in ENTROPY_SOURCES:
+            return target
+        if target.startswith("secrets."):
+            return target
+        if target.startswith("numpy.random."):
+            tail = target.rsplit(".", 1)[1]
+            if tail not in NUMPY_RANDOM_SAFE:
+                return target
+        return None
+
+    def message(self, chain: List[str], call: CallSite, holder: FunctionNode) -> str:
+        return (
+            f"sim-scope call chain reaches nondeterministic "
+            f"`{call.target}` ({holder.module}:{call.lineno}): "
+            f"{_chain_text(chain, call.target)}"
+        )
+
+
+RULES = (TransitiveEntropyRule(), TransitiveClockRule())

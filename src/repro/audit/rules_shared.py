@@ -1,0 +1,254 @@
+"""Concurrent shared-state rules (RACE*): mesh/parallel determinism contract.
+
+The mesh layer (:mod:`repro.topology.mesh`) runs N protocol instances in
+one simulator, and the parallel engine (:mod:`repro.parallel`) fans work
+out over processes. Both subsystems promise byte-identical output across
+``--jobs``/``--shards`` — a promise the ``netexp`` CI job *samples* with
+one equality check, while these rules encode it structurally: any state
+shared wider than a single route/worker must either be immutable or have
+its writes funneled through a deterministic (sorted/canonical) order.
+
+A module-level ``dict`` appended to from per-route code is the classic
+violation: which route writes first depends on scheduling, so iteration
+order — and any output derived from it — varies between runs even when
+the *values* are identical. Class attributes holding mutable containers
+are the same hazard wearing instance syntax: every instance (every
+concurrent route) shares one object.
+
+Escape hatch: state that is genuinely shared on purpose (an interned
+cache, a registry keyed and emitted in sorted order) carries an inline
+``# repro: allow(RACE00x)`` with its justification, which keeps the
+canonical-ordering argument next to the container it excuses — see the
+determinism contracts in ``docs/TOPOLOGY.md`` and ``docs/PARALLEL.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.audit.engine import Finding, ModuleContext, Rule
+
+#: Concurrency scope: modules whose code runs per-route (mesh) or
+#: per-worker (process pool, sharded Monte-Carlo batches).
+CONCURRENT_SCOPE = (
+    "repro.topology",
+    "repro.parallel",
+    "repro.mc",
+    "repro.net.fastpath",
+)
+
+#: Constructors producing a fresh mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list", "dict", "set", "bytearray",
+        "collections.defaultdict", "collections.Counter",
+        "collections.deque", "collections.OrderedDict",
+    }
+)
+
+#: Method calls that mutate a container in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _is_mutable_container(ctx: ModuleContext, value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CONSTRUCTORS:
+            return True
+        qualified = ctx.resolve(func)
+        if qualified in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+def _module_level_containers(ctx: ModuleContext) -> Dict[str, int]:
+    """Module-scope names bound to mutable containers, with def lines."""
+    containers: Dict[str, int] = {}
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        else:
+            continue
+        if not _is_mutable_container(ctx, value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                containers[target.id] = stmt.lineno
+    return containers
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names (re)bound inside ``func``: params, assignments, loop targets.
+
+    A function that rebinds a name shadows the module-level container of
+    the same name — mutations then touch local state, not shared state.
+    ``global`` declarations do the opposite: they make the module name
+    assignable, so they are deliberately *not* treated as shadowing.
+    A subscript/attribute store (``D[k] = v``) mutates the object the
+    name refers to without rebinding the name, so it never shadows.
+    """
+    bound: Set[str] = set()
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs,
+                args.vararg, args.kwarg]:
+        if arg is not None:
+            bound.add(arg.arg)
+    globals_declared: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                bound.update(_bound_names(target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bound.update(_bound_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bound.update(_bound_names(item.optional_vars))
+    return bound - globals_declared
+
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    """Names a store-target actually (re)binds.
+
+    Descends tuple/list/star destructuring; stops at subscripts and
+    attributes, whose base name keeps referring to the same object.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _mutations_of(func: ast.AST, names: Set[str]) -> Iterator[ast.AST]:
+    """Yield nodes inside ``func`` that mutate one of ``names`` in place."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and callee.attr in _MUTATING_METHODS
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id in names
+            ):
+                yield node
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield node
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in names
+                ):
+                    yield node
+
+
+class SharedModuleStateRule(Rule):
+    """RACE001 — module-level container mutated from function scope."""
+
+    id = "RACE001"
+    family = "shared-state"
+    severity = "error"
+    summary = "module-level mutable container written from function scope"
+    rationale = (
+        "A module-level dict/list/set written from per-route or "
+        "per-worker code paths accumulates entries in scheduling order, "
+        "so anything iterating it emits in a nondeterministic order — "
+        "breaking the byte-identical `--jobs`/`--shards` contract the "
+        "netexp CI job samples. Pass state down explicitly, or emit in "
+        "sorted order and carry an inline justification."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_module(*CONCURRENT_SCOPE):
+            return
+        containers = _module_level_containers(ctx)
+        if not containers:
+            return
+        names = set(containers)
+        for stmt in ast.walk(ctx.tree):
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            shadowed = _local_bindings(stmt)
+            visible = names - shadowed
+            if not visible:
+                continue
+            for mutation in _mutations_of(stmt, visible):
+                yield self.finding(
+                    ctx,
+                    mutation,
+                    "writes a module-level mutable container from "
+                    f"function scope (defined at line "
+                    f"{min(containers[n] for n in visible)}); shared "
+                    "across every concurrent route/worker in the process",
+                )
+
+
+class SharedClassStateRule(Rule):
+    """RACE002 — class-attribute mutable container (shared by instances)."""
+
+    id = "RACE002"
+    family = "shared-state"
+    severity = "error"
+    summary = "class-level mutable container shared across instances"
+    rationale = (
+        "A mutable container in a class body is one object shared by "
+        "every instance — with one instance per concurrent route/worker, "
+        "per-instance state silently becomes cross-route state. Initialize "
+        "containers in `__init__` (or `dataclasses.field(default_factory)`, "
+        "which this rule does not flag)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_module(*CONCURRENT_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    value = stmt.value
+                else:
+                    continue
+                if _is_mutable_container(ctx, value):
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"class `{node.name}` binds a mutable container "
+                        "at class scope; every concurrent instance shares "
+                        "it — initialize per-instance in `__init__`",
+                    )
+
+
+RULES = (SharedModuleStateRule(), SharedClassStateRule())

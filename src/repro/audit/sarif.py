@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export: audit findings for GitHub code scanning.
+
+One run, one driver (``repro-audit``), every catalogue rule — including
+the engine meta rules AUD001/AUD002 — declared up front in
+``tool.driver.rules`` so results resolve by ``ruleIndex`` and code
+scanning can render each rule's rationale without a second lookup.
+Results carry the same sha256 fingerprint the baseline machinery uses
+(``partialFingerprints``), which lets code scanning track a finding
+across commits exactly the way ``audit-baseline.json`` does locally, and
+``baselineState`` mirrors the grandfathering verdict: ``unchanged`` for
+baselined findings, ``new`` for everything that would fail the gate.
+
+Artifact URIs are emitted relative to ``%SRCROOT%`` — the engine's
+display paths are already checkout-relative POSIX paths, so the upload
+action anchors them at the repository root with no path rewriting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro import __version__
+from repro.audit.catalog import META_RULES, all_rules
+from repro.audit.engine import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+def _driver_rules() -> List[dict]:
+    """Every rule the driver may cite, catalogue rules then meta rules."""
+    entries: List[dict] = []
+    for rule in all_rules():
+        entries.append(
+            {
+                "id": rule.id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.summary},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": rule.severity},
+                "properties": {"family": rule.family},
+            }
+        )
+    for meta_id, severity, summary in META_RULES:
+        entries.append(
+            {
+                "id": meta_id,
+                "name": meta_id,
+                "shortDescription": {"text": summary},
+                "fullDescription": {"text": summary},
+                "defaultConfiguration": {"level": severity},
+                "properties": {"family": "engine"},
+            }
+        )
+    return entries
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> dict:
+    region: dict = {
+        "startLine": finding.line,
+        "startColumn": max(finding.col, 1),
+    }
+    if finding.line_text:
+        region["snippet"] = {"text": finding.line_text}
+    result = {
+        "ruleId": finding.rule,
+        "level": finding.severity,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+        "partialFingerprints": {"reproAuditFingerprint/v1": finding.fingerprint},
+        "baselineState": "unchanged" if finding.baselined else "new",
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def to_sarif(findings: Sequence[Finding]) -> dict:
+    """The findings as one SARIF 2.1.0 log document (a plain dict)."""
+    rules = _driver_rules()
+    rule_index = {entry["id"]: i for i, entry in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-audit",
+                        "semanticVersion": __version__,
+                        "rules": rules,
+                        "properties": {"documentation": "docs/AUDIT.md"},
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, findings: Sequence[Finding]) -> None:
+    """Serialize :func:`to_sarif` to ``path`` (two-space indent, LF)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(findings), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -39,6 +39,7 @@ DEFAULT_BENCH_FILES = (
     "BENCH_parallel.json",
     "BENCH_fastpath.json",
     "BENCH_topology.json",
+    "BENCH_audit.json",
 )
 
 #: Committed baseline filename, repo-root relative.

@@ -1,0 +1,24 @@
+# repro: module=repro.topology.fake_shared
+"""Fixture: every shared-state rule (RACE001-RACE002) must fire here.
+
+Never imported — read as data by tests/unit/test_audit_rules.py.
+"""
+
+_ROUTE_VERDICTS = {}
+_EVENT_LOG = []
+
+
+class RouteTally:
+    # One dict and one list shared by every instance (every route).
+    counts = {}
+    labels: list = []
+
+
+def record_verdict(route, verdict):
+    # Subscript write into a module-level dict from per-route code.
+    _ROUTE_VERDICTS[route] = verdict
+
+
+def log_event(event):
+    # In-place mutation of a module-level list from per-route code.
+    _EVENT_LOG.append(event)

@@ -1,0 +1,2 @@
+# Marker only: fixtures in this directory are audited together as one
+# project so cross-file call chains resolve; they are never imported.

@@ -1,0 +1,28 @@
+# repro: module=repro_vendor.util
+"""Fixture: vendor-style helpers outside ``repro.*`` scope.
+
+Per-file clean by design — ``repro_vendor`` is not a repro module, so
+the scoped per-file rules (DET003/ST001) never look at it. The wall
+clock hides two calls deep behind ``wrapped_now``; only the
+whole-program pass can see a sim-scope caller reach it.
+"""
+
+import time
+
+
+def slow_now():
+    return time.time()
+
+
+def wrapped_now():
+    return slow_now()
+
+
+def excused_now():
+    # The sanctioned boundary: an excused sink line is excused for
+    # transitive callers too.
+    return time.time()  # repro: allow(DET003)
+
+
+def pure_span(start, end):
+    return end - start

@@ -1,0 +1,13 @@
+# repro: module=repro.mc.fake_chain
+"""Fixture: sim-scope code laundering the wall clock through helpers.
+
+``record_event`` never touches ``time`` itself — the per-file engine
+sees nothing — yet its call chain ends at ``time.time()`` two hops away.
+ST002 must anchor its finding here, on the first hop.
+"""
+
+from repro_vendor.util import wrapped_now
+
+
+def record_event(log):
+    log.append(wrapped_now())

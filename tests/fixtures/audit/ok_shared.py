@@ -1,0 +1,36 @@
+# repro: module=repro.topology.fake_shared_ok
+"""Fixture: shared-state twin — per-instance, shadowed, or excused."""
+
+from dataclasses import dataclass, field
+
+#: Deliberately shared: insertion order never observed (sorted on read).
+_INTERNED = {}
+
+#: Module-level container that every function shadows locally.
+_SCRATCH = []
+
+
+def intern_label(label):
+    return _INTERNED.setdefault(label, label)  # repro: allow(RACE001)
+
+
+def local_scratch(items):
+    # Rebinding `_SCRATCH` makes it a local: no shared-state write.
+    _SCRATCH = []
+    for item in items:
+        _SCRATCH.append(item)
+    return _SCRATCH
+
+
+class PerRouteTally:
+    def __init__(self):
+        # Per-instance containers: the RACE002-clean idiom.
+        self.counts = {}
+        self.labels = []
+
+
+@dataclass
+class FrozenTally:
+    # `field(default_factory=...)` builds per-instance state; not flagged.
+    counts: dict = field(default_factory=dict)
+    labels: list = field(default_factory=list)

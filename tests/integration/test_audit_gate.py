@@ -3,6 +3,7 @@ agrees, and the warn-only mode keeps fixture violations out of the gate."""
 
 import json
 import os
+import re
 import subprocess
 import sys
 
@@ -66,3 +67,61 @@ class TestEntryPoints:
         with pytest.raises(SystemExit) as excinfo:
             aai_main(["audit", str(bad)])
         assert excinfo.value.code == 1
+
+
+class TestCliOptions:
+    def test_unknown_select_id_exits_2_with_one_line_error(self, capsys):
+        assert main([SRC, "--select", "NOPE123"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule id(s): NOPE123" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unknown_ignore_id_exits_2(self, capsys):
+        assert main([SRC, "--ignore", "DET001,BOGUS999"]) == 2
+        assert "BOGUS999" in capsys.readouterr().err
+
+    def test_select_narrows_to_named_rules(self, capsys):
+        fixture = os.path.join(TESTS, "fixtures", "audit", "bad_crypto.py")
+        assert main([fixture, "--select", "CB001", "--warn-only"]) == 0
+        out = capsys.readouterr().out
+        assert "CB001" in out
+        assert "CB002" not in out
+
+    def test_list_rules_grouped_by_family_and_id_sorted(self, capsys):
+        from repro.audit.catalog import known_rule_ids
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        listed = re.findall(r"^([A-Z]+\d{3})\b", out, re.MULTILINE)
+        assert set(listed) == known_rule_ids()
+        headers = re.findall(r"^== ([\w-]+) ==$", out, re.MULTILINE)
+        # Families alphabetical (engine meta rules close the listing),
+        # ids sorted within each family block.
+        assert headers[:-1] == sorted(headers[:-1])
+        assert headers[-1] == "engine"
+        for block in out.split("== ")[1:]:
+            ids = re.findall(r"^([A-Z]+\d{3})\b", block, re.MULTILINE)
+            assert ids == sorted(ids)
+
+    def test_sarif_flag_writes_2_1_0_log(self, tmp_path, capsys):
+        out_path = tmp_path / "audit.sarif"
+        assert main([SRC, "--sarif", str(out_path)]) == 0
+        log = json.loads(out_path.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-audit"
+
+    def test_cache_flag_persists_and_reuses(self, tmp_path, capsys):
+        cache_path = tmp_path / "cache.json"
+        assert main([SRC, "--cache", str(cache_path)]) == 0
+        assert cache_path.exists()
+        first = capsys.readouterr().out
+        assert main([SRC, "--cache", str(cache_path)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_tests_tree_gated_against_committed_baseline(
+        self, monkeypatch, capsys
+    ):
+        # The promotion from warn-only: tests/ audits clean against its
+        # own committed baseline, so *new* errors in test code fail CI.
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["tests", "--baseline", "audit-baseline-tests.json"]) == 0

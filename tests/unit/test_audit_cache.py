@@ -1,0 +1,102 @@
+"""Incremental cache + parallel analysis: warm, invalidated, fanned-out
+runs all produce byte-identical findings to a cold serial run."""
+
+import os
+
+import pytest
+
+from repro.audit import AuditCache, audit_paths
+from repro.audit.cache import rules_signature
+from repro.audit.catalog import all_rules, select_rules
+
+FIXTURES = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "fixtures", "audit")
+)
+
+
+def fingerprints(findings):
+    return [(f.rule, f.path, f.line, f.fingerprint) for f in findings]
+
+
+@pytest.fixture
+def cache():
+    return AuditCache(rules_signature(all_rules()))
+
+
+def test_warm_run_reproduces_cold_findings_without_reanalysis(cache):
+    cold = audit_paths([FIXTURES], root=FIXTURES, cache=cache)
+    assert cache.hits == 0 and cache.misses > 0
+    misses = cache.misses
+    warm = audit_paths([FIXTURES], root=FIXTURES, cache=cache)
+    assert fingerprints(warm) == fingerprints(cold)
+    # Every file hit the cache on the second pass: no new misses.
+    assert cache.misses == misses
+    assert cache.hits == misses
+
+
+def test_content_change_invalidates_exactly_that_file(tmp_path, cache):
+    victim = tmp_path / "mod.py"
+    victim.write_text("import os\n\n\ndef nonce():\n    return os.urandom(8)\n")
+    clean = tmp_path / "other.py"
+    clean.write_text("def add(a, b):\n    return a + b\n")
+    first = audit_paths([str(tmp_path)], root=str(tmp_path), cache=cache)
+    assert [f.rule for f in first] == ["DET004"]
+    victim.write_text("def add2(a, b):\n    return a + b\n")
+    second = audit_paths([str(tmp_path)], root=str(tmp_path), cache=cache)
+    assert second == []
+    # other.py was served from cache; mod.py re-analyzed after the edit.
+    assert cache.hits == 1
+    assert cache.misses == 3
+
+
+def test_cache_survives_save_and_load(tmp_path):
+    rules = all_rules()
+    path = str(tmp_path / "cache.json")
+    first = AuditCache.load(path, rules)
+    cold = audit_paths([FIXTURES], root=FIXTURES, cache=first)
+    kept = first.save(path)
+    assert kept == first.misses
+    second = AuditCache.load(path, rules)
+    warm = audit_paths([FIXTURES], root=FIXTURES, cache=second)
+    assert fingerprints(warm) == fingerprints(cold)
+    assert second.misses == 0
+
+
+def test_rule_set_change_discards_entries(tmp_path):
+    path = str(tmp_path / "cache.json")
+    full = AuditCache.load(path, all_rules())
+    audit_paths([FIXTURES], root=FIXTURES, cache=full)
+    full.save(path)
+    narrowed = AuditCache.load(path, select_rules(select=["DET001"]))
+    assert narrowed.signature != full.signature
+    audit_paths(
+        [FIXTURES],
+        root=FIXTURES,
+        rules=select_rules(select=["DET001"]),
+        cache=narrowed,
+    )
+    # Signature mismatch means an empty cache, not wrong cached findings.
+    assert narrowed.hits == 0
+
+
+def test_corrupt_cache_file_is_treated_as_empty(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("{not json")
+    cache = AuditCache.load(str(path), all_rules())
+    findings = audit_paths([FIXTURES], root=FIXTURES, cache=cache)
+    assert cache.hits == 0
+    assert findings
+
+
+def test_parallel_analysis_is_byte_identical_to_serial():
+    serial = audit_paths([FIXTURES], root=FIXTURES, jobs=1)
+    fanned = audit_paths([FIXTURES], root=FIXTURES, jobs=2)
+    assert fingerprints(fanned) == fingerprints(serial)
+
+
+def test_parallel_respects_narrowed_rule_set():
+    rules = select_rules(select=["DET001"])
+    serial = audit_paths([FIXTURES], root=FIXTURES, rules=rules, jobs=1)
+    fanned = audit_paths([FIXTURES], root=FIXTURES, rules=rules, jobs=2)
+    assert fingerprints(fanned) == fingerprints(serial)
+    assert {f.rule for f in fanned} == {"DET001"}

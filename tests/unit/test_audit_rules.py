@@ -2,12 +2,19 @@
 passes the suppressed/allowlisted twin (tests/fixtures/audit/)."""
 
 import os
+import re
+import textwrap
 from collections import Counter
 
-from repro.audit import audit_paths
+from repro.audit import audit_paths, audit_source
+from repro.audit.catalog import all_rules, known_rule_ids
+from repro.audit.engine import split_rules
 
 FIXTURES = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", "fixtures", "audit")
+)
+DOCS = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "docs", "AUDIT.md")
 )
 
 
@@ -113,6 +120,95 @@ class TestObservabilityFamily:
         assert audit_fixture("ok_obs.py") == []
 
 
+class TestRngFlowFamily:
+    def test_violations_caught(self):
+        counts = rule_counts(audit_fixture("bad_rngflow.py"))
+        # The pid-interpolated label and the `id(...)` label.
+        assert counts["RNG001"] == 2
+        # The duplicated `spawn("route-0")` and `stream("adversary")`.
+        assert counts["RNG002"] == 2
+        # The `rng.stream(node.make_label())` opaque label.
+        assert counts["RNG003"] == 1
+
+    def test_duplicate_spawn_label_specifically_flagged(self):
+        findings = [
+            f for f in audit_fixture("bad_rngflow.py") if f.rule == "RNG002"
+        ]
+        spawn_dups = [f for f in findings if "route-0" in f.message]
+        assert len(spawn_dups) == 1
+        assert "spawn" in spawn_dups[0].message
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_rngflow.py") == []
+
+
+class TestSharedStateFamily:
+    def test_violations_caught(self):
+        counts = rule_counts(audit_fixture("bad_shared.py"))
+        # Subscript write into _ROUTE_VERDICTS + append to _EVENT_LOG.
+        assert counts["RACE001"] == 2
+        # RouteTally.counts and RouteTally.labels at class scope.
+        assert counts["RACE002"] == 2
+
+    def test_allowed_and_suppressed_twin_passes(self):
+        assert audit_fixture("ok_shared.py") == []
+
+
+class TestInterprocFamily:
+    """The whole-program pass over tests/fixtures/audit/interproc/."""
+
+    def test_two_hop_clock_chain_flagged(self):
+        findings = audit_fixture("interproc")
+        assert [f.rule for f in findings] == ["ST002"]
+        (finding,) = findings
+        assert finding.path == "interproc/sim_chain.py"
+        # The message names the full chain and the concrete sink.
+        assert "time.time" in finding.message
+        assert (
+            "repro.mc.fake_chain.record_event -> "
+            "repro_vendor.util.wrapped_now -> "
+            "repro_vendor.util.slow_now" in finding.message
+        )
+
+    def test_per_file_engine_alone_misses_the_chain(self):
+        # The pre-whole-program engine: per-file rules only. The same
+        # fixture set is completely clean — which is exactly why the
+        # interprocedural pass exists.
+        file_rules, _ = split_rules(all_rules())
+        assert (
+            audit_paths(
+                [os.path.join(FIXTURES, "interproc")],
+                rules=file_rules,
+                root=FIXTURES,
+            )
+            == []
+        )
+
+    def test_transitive_entropy_flagged_with_direct_finding(self):
+        source = textwrap.dedent(
+            """
+            import random
+
+
+            def draw():
+                return _hidden()
+
+
+            def _hidden():
+                return random.random()
+            """
+        )
+        findings = audit_source(source, module="repro.mc.fake_entropy")
+        counts = rule_counts(findings)
+        # The helper's direct call is DET001; the two-hop reach from
+        # `draw` is DET005 — different findings, different lines.
+        assert counts["DET001"] == 1
+        assert counts["DET005"] == 1
+        det005 = next(f for f in findings if f.rule == "DET005")
+        assert "random.random" in det005.message
+        assert "draw" in det005.message
+
+
 def test_fixture_files_never_leak_other_rules():
     """Each bad fixture triggers exactly its own family (plus nothing)."""
     expected_families = {
@@ -123,7 +219,28 @@ def test_fixture_files_never_leak_other_rules():
         "bad_faults.py": {"FI001"},
         "bad_fastpath.py": {"FP001"},
         "bad_obs.py": {"OBS001"},
+        "bad_rngflow.py": {"RNG001", "RNG002", "RNG003"},
+        "bad_shared.py": {"RACE001", "RACE002"},
+        "interproc": {"ST002"},
     }
     for name, expected in expected_families.items():
         seen = set(rule_counts(audit_fixture(name)))
         assert seen == expected, f"{name}: {seen} != {expected}"
+
+
+def test_every_rule_id_documented_and_every_documented_id_exists():
+    """docs/AUDIT.md and the catalogue agree exactly on rule ids.
+
+    Both directions: an undocumented rule is invisible to users, and a
+    documented id with no implementation is a broken promise.
+    """
+    with open(DOCS, encoding="utf-8") as handle:
+        text = handle.read()
+    catalogued = known_rule_ids()
+    # Anchor the docs-side scan to the catalogue's id prefixes so prose
+    # like "HMAC-SHA256" is not mistaken for a rule id.
+    prefixes = sorted({re.match(r"[A-Z]+", rid).group(0) for rid in catalogued})
+    pattern = rf"\b(?:{'|'.join(prefixes)})\d{{3}}\b"
+    documented = set(re.findall(pattern, text))
+    assert catalogued - documented == set(), "undocumented rule ids"
+    assert documented - catalogued == set(), "documented but unknown ids"

@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 export: structure GitHub code scanning will accept."""
+
+import json
+import os
+
+from repro.audit import audit_paths, to_sarif, write_sarif
+from repro.audit.catalog import known_rule_ids
+from repro.audit.engine import apply_baseline
+
+FIXTURES = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "fixtures", "audit")
+)
+
+
+def fixture_findings():
+    return audit_paths([FIXTURES], root=FIXTURES)
+
+
+def test_log_skeleton_is_sarif_2_1_0():
+    log = to_sarif(fixture_findings())
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(log["runs"]) == 1
+    driver = log["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-audit"
+    assert driver["semanticVersion"]
+
+
+def test_driver_declares_every_known_rule():
+    log = to_sarif([])
+    driver_ids = {
+        rule["id"] for rule in log["runs"][0]["tool"]["driver"]["rules"]
+    }
+    # The full catalogue plus the engine meta rules (AUD001/AUD002):
+    # results always resolve by ruleIndex, never dangle.
+    assert driver_ids == known_rule_ids()
+
+
+def test_results_carry_location_fingerprint_and_rule_index():
+    findings = fixture_findings()
+    log = to_sarif(findings)
+    run = log["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert len(run["results"]) == len(findings)
+    for finding, result in zip(findings, run["results"]):
+        assert result["ruleId"] == finding.rule
+        assert rules[result["ruleIndex"]]["id"] == finding.rule
+        assert result["level"] in ("error", "warning")
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == finding.path
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] == finding.line
+        assert location["region"]["startColumn"] >= 1
+        assert (
+            result["partialFingerprints"]["reproAuditFingerprint/v1"]
+            == finding.fingerprint
+        )
+
+
+def test_baseline_state_mirrors_grandfathering():
+    findings = fixture_findings()
+    grandfathered = {findings[0].fingerprint}
+    baselined = apply_baseline(findings, grandfathered)
+    log = to_sarif(baselined)
+    states = [r["baselineState"] for r in log["runs"][0]["results"]]
+    assert states[0] == "unchanged"
+    assert set(states[1:]) == {"new"}
+
+
+def test_write_sarif_round_trips_through_json(tmp_path):
+    path = tmp_path / "out.sarif"
+    findings = fixture_findings()
+    write_sarif(str(path), findings)
+    loaded = json.loads(path.read_text())
+    assert loaded == to_sarif(findings)
